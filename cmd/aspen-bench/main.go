@@ -1,0 +1,50 @@
+// Command aspen-bench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md for the experiment index). Examples:
+//
+//	aspen-bench -list
+//	aspen-bench -run table2
+//	aspen-bench -run figure5 -quick
+//	aspen-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run (e.g. table2, figure5)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "use small inputs (smoke-test scale)")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+	cfg := bench.Config{Quick: *quick}
+	switch {
+	case *list:
+		seen := map[string]bool{}
+		for _, e := range bench.Experiments {
+			if !seen[e.Title] {
+				seen[e.Title] = true
+				fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			}
+		}
+	case *all:
+		bench.RunAll(os.Stdout, cfg)
+	case *run != "":
+		e, ok := bench.Lookup(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "aspen-bench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n", e.Title)
+		e.Run(os.Stdout, cfg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

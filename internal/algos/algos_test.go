@@ -1,0 +1,360 @@
+package algos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/aspen"
+	"repro/internal/ctree"
+	"repro/internal/ligra"
+	"repro/internal/xhash"
+)
+
+// randomGraph builds a symmetric Aspen graph over n vertices with k random
+// undirected edges, plus a reference adjacency structure.
+func randomGraph(seed uint64, n, k int) (aspen.Graph, [][]uint32) {
+	r := xhash.NewRNG(seed)
+	adj := make([][]uint32, n)
+	seen := map[uint64]bool{}
+	var edges []aspen.Edge
+	for len(seen) < k {
+		u, v := uint32(r.Intn(n)), uint32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		key := uint64(min(u, v))<<32 | uint64(max(u, v))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		edges = append(edges, aspen.Edge{Src: u, Dst: v})
+	}
+	g := aspen.NewGraph(ctree.Params{B: 8}).InsertVertices(rangeIDs(n)).
+		InsertEdges(aspen.MakeUndirected(edges))
+	return g, adj
+}
+
+func rangeIDs(n int) []uint32 {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	return ids
+}
+
+// refBFS is a sequential queue BFS over the adjacency reference.
+func refBFS(adj [][]uint32, src uint32) []int32 {
+	dist := make([]int32, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []uint32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	for _, noDense := range []bool{false, true} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			g, adj := randomGraph(seed, 200, 500)
+			res := BFS(g, 0, noDense)
+			want := refBFS(adj, 0)
+			got := res.Distances()
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("noDense=%v seed=%d: dist[%d] = %d, want %d",
+						noDense, seed, v, got[v], want[v])
+				}
+			}
+			// Parents must be actual edges.
+			for v, p := range res.Parents {
+				if p >= 0 && p != int32(v) && !g.HasEdge(uint32(p), uint32(v)) {
+					t.Fatalf("parent (%d -> %d) is not an edge", p, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBFSOnFlatSnapshotMatches(t *testing.T) {
+	g, adj := randomGraph(9, 300, 900)
+	fs := aspen.BuildFlatSnapshot(g)
+	got := BFS(fs, 3, false).Distances()
+	want := refBFS(adj, 3)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+// refBC is a sequential single-source Brandes implementation.
+func refBC(adj [][]uint32, src uint32) []float64 {
+	n := len(adj)
+	dep := make([]float64, n)
+	sigma := make([]float64, n)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	sigma[src] = 1
+	dist[src] = 0
+	var order []uint32
+	queue := []uint32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+			if dist[v] == dist[u]+1 {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, v := range adj[u] {
+			if dist[v] == dist[u]+1 {
+				dep[u] += sigma[u] / sigma[v] * (1 + dep[v])
+			}
+		}
+	}
+	return dep
+}
+
+func TestBCMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g, adj := randomGraph(seed+100, 120, 300)
+		got := BC(g, 1, false)
+		want := refBC(adj, 1)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9*(1+math.Abs(want[v])) {
+				t.Fatalf("seed %d: dep[%d] = %g, want %g", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestMISIndependentAndMaximal(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g, adj := randomGraph(seed+200, 150, 400)
+		in := MIS(g, 42)
+		for u := range adj {
+			if !in[u] {
+				continue
+			}
+			for _, v := range adj[u] {
+				if in[v] {
+					t.Fatalf("seed %d: adjacent %d and %d both in MIS", seed, u, v)
+				}
+			}
+		}
+		// Maximality: every excluded vertex has an in-MIS neighbor.
+		for u := range adj {
+			if in[u] {
+				continue
+			}
+			hasInNbr := false
+			for _, v := range adj[u] {
+				if in[v] {
+					hasInNbr = true
+					break
+				}
+			}
+			if !hasInNbr {
+				t.Fatalf("seed %d: vertex %d excluded with no MIS neighbor", seed, u)
+			}
+		}
+	}
+}
+
+func TestMISDeterministic(t *testing.T) {
+	g, _ := randomGraph(7, 100, 250)
+	a := MIS(g, 5)
+	b := MIS(g, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MIS not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestTwoHop(t *testing.T) {
+	g, adj := randomGraph(11, 100, 200)
+	got := TwoHop(g, 0)
+	want := map[uint32]bool{}
+	for _, v := range adj[0] {
+		want[v] = true
+	}
+	for _, v := range adj[0] {
+		for _, w := range adj[v] {
+			if w != 0 && !contains(adj[0], w) {
+				want[w] = true
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("2-hop size = %d, want %d", len(got), len(want))
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("2-hop includes %d", v)
+		}
+	}
+}
+
+func contains(a []uint32, x uint32) bool {
+	for _, v := range a {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLocalClusterFindsBlob(t *testing.T) {
+	// Two 12-cliques joined by a single bridge edge: a walk from inside
+	// one clique must identify (most of) that clique at low conductance.
+	const k = 12
+	var edges []aspen.Edge
+	for a := uint32(0); a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			edges = append(edges, aspen.Edge{Src: a, Dst: b})
+			edges = append(edges, aspen.Edge{Src: a + k, Dst: b + k})
+		}
+	}
+	edges = append(edges, aspen.Edge{Src: 0, Dst: k})
+	g := aspen.NewGraph(ctree.Params{B: 8}).InsertEdges(aspen.MakeUndirected(edges))
+	res := LocalCluster(g, 3, 1e-6, 10)
+	if len(res.Cluster) == 0 {
+		t.Fatal("empty cluster")
+	}
+	inFirst := 0
+	for _, v := range res.Cluster {
+		if v < k {
+			inFirst++
+		}
+	}
+	if inFirst < len(res.Cluster)-1 {
+		t.Fatalf("cluster leaked into the other clique: %v", res.Cluster)
+	}
+	if res.Conductance > 0.5 {
+		t.Fatalf("conductance %f too high", res.Conductance)
+	}
+	if res.Support == 0 {
+		t.Fatal("no support")
+	}
+}
+
+// refCC is union-find over the adjacency reference.
+func refCC(adj [][]uint32) []uint32 {
+	parent := make([]uint32, len(adj))
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var find func(x uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for u := range adj {
+		for _, v := range adj[u] {
+			ru, rv := find(uint32(u)), find(v)
+			if ru != rv {
+				if ru < rv {
+					parent[rv] = ru
+				} else {
+					parent[ru] = rv
+				}
+			}
+		}
+	}
+	out := make([]uint32, len(adj))
+	for i := range out {
+		out[i] = find(uint32(i))
+	}
+	return out
+}
+
+func TestConnectedComponentsMatchesUnionFind(t *testing.T) {
+	g, adj := randomGraph(13, 300, 350)
+	got := ConnectedComponents(g)
+	want := refCC(adj)
+	// Labels must induce the same partition; our labels are component
+	// minima so they should be identical to union-find minima.
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("cc[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestPageRank(t *testing.T) {
+	// On a cycle (regular graph) PageRank is uniform.
+	const n = 50
+	var edges []aspen.Edge
+	for i := uint32(0); i < n; i++ {
+		edges = append(edges, aspen.Edge{Src: i, Dst: (i + 1) % n})
+	}
+	g := aspen.NewGraph(ctree.Params{B: 8}).InsertEdges(aspen.MakeUndirected(edges))
+	pr := PageRank(g, 1e-10, 100)
+	var sum float64
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sums to %f", sum)
+	}
+	for i := 1; i < n; i++ {
+		if math.Abs(pr[i]-pr[0]) > 1e-9 {
+			t.Fatalf("non-uniform rank on a cycle: pr[%d]=%g pr[0]=%g", i, pr[i], pr[0])
+		}
+	}
+}
+
+func TestPageRankHubGetsMoreMass(t *testing.T) {
+	// A star: the hub must outrank the leaves.
+	var edges []aspen.Edge
+	for i := uint32(1); i <= 20; i++ {
+		edges = append(edges, aspen.Edge{Src: 0, Dst: i})
+	}
+	g := aspen.NewGraph(ctree.Params{B: 8}).InsertEdges(aspen.MakeUndirected(edges))
+	pr := PageRank(g, 1e-10, 100)
+	if pr[0] <= pr[1] {
+		t.Fatalf("hub rank %g <= leaf rank %g", pr[0], pr[1])
+	}
+}
+
+func TestBFSUnreachableAndOutOfRange(t *testing.T) {
+	g, _ := randomGraph(3, 50, 60)
+	res := BFS(g, 1<<20, false)
+	if res.Visited != 0 {
+		t.Fatal("out-of-range source should visit nothing")
+	}
+	// Isolated vertex: its own component only.
+	g2 := aspen.NewGraph(ctree.Params{B: 8}).InsertVertices([]uint32{0, 1})
+	r2 := BFS(g2, 0, false)
+	if r2.Visited != 1 || r2.Parents[1] != -1 {
+		t.Fatal("isolated BFS wrong")
+	}
+	_ = ligra.Empty(1)
+}

@@ -1,0 +1,151 @@
+package algos
+
+import (
+	"testing"
+
+	"repro/internal/aspen"
+	"repro/internal/ctree"
+)
+
+// refKCore peels sequentially with a naive loop.
+func refKCore(adj [][]uint32) []uint32 {
+	n := len(adj)
+	deg := make([]int, n)
+	for i := range adj {
+		deg[i] = len(adj[i])
+	}
+	coreness := make([]uint32, n)
+	removed := make([]bool, n)
+	for k := 0; ; k++ {
+		progress := true
+		remaining := 0
+		for progress {
+			progress = false
+			for v := 0; v < n; v++ {
+				if !removed[v] && deg[v] <= k {
+					removed[v] = true
+					coreness[v] = uint32(k)
+					if deg[v] > 0 || len(adj[v]) > 0 {
+						// decrement live neighbors
+						for _, u := range adj[v] {
+							if !removed[u] {
+								deg[u]--
+							}
+						}
+					}
+					progress = true
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !removed[v] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			return coreness
+		}
+	}
+}
+
+func TestKCoreMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g, adj := randomGraph(seed+300, 120, 350)
+		got := KCore(g)
+		want := refKCore(adj)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: coreness[%d] = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestKCoreOnClique(t *testing.T) {
+	// A (k+1)-clique has coreness k everywhere.
+	const k = 7
+	var edges []aspen.Edge
+	for a := uint32(0); a <= k; a++ {
+		for b := a + 1; b <= k; b++ {
+			edges = append(edges, aspen.Edge{Src: a, Dst: b})
+		}
+	}
+	g := aspen.NewGraph(ctree.Params{B: 8}).InsertEdges(aspen.MakeUndirected(edges))
+	cores := KCore(g)
+	for v := uint32(0); v <= k; v++ {
+		if cores[v] != k {
+			t.Fatalf("coreness[%d] = %d, want %d", v, cores[v], k)
+		}
+	}
+	if MaxCore(cores) != k {
+		t.Fatalf("MaxCore = %d", MaxCore(cores))
+	}
+}
+
+// refTriangles brute-forces over all vertex triples present as edges.
+func refTriangles(adj [][]uint32) uint64 {
+	has := map[uint64]bool{}
+	for u, nbrs := range adj {
+		for _, v := range nbrs {
+			has[uint64(u)<<32|uint64(v)] = true
+		}
+	}
+	edge := func(a, b uint32) bool { return has[uint64(a)<<32|uint64(b)] }
+	var count uint64
+	n := len(adj)
+	for a := uint32(0); int(a) < n; a++ {
+		for b := a + 1; int(b) < n; b++ {
+			if !edge(a, b) {
+				continue
+			}
+			for c := b + 1; int(c) < n; c++ {
+				if edge(a, c) && edge(b, c) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		g, adj := randomGraph(seed+400, 60, 250)
+		got := TriangleCount(g)
+		want := refTriangles(adj)
+		if got != want {
+			t.Fatalf("seed %d: triangles = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestTriangleCountOnKnownGraphs(t *testing.T) {
+	// A triangle plus a pendant edge: exactly one triangle.
+	g := aspen.NewGraph(ctree.Params{B: 8}).InsertEdges(aspen.MakeUndirected([]aspen.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}, {Src: 2, Dst: 3},
+	}))
+	if got := TriangleCount(g); got != 1 {
+		t.Fatalf("triangles = %d, want 1", got)
+	}
+	// K5 has C(5,3) = 10 triangles.
+	var edges []aspen.Edge
+	for a := uint32(0); a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			edges = append(edges, aspen.Edge{Src: a, Dst: b})
+		}
+	}
+	k5 := aspen.NewGraph(ctree.Params{B: 8}).InsertEdges(aspen.MakeUndirected(edges))
+	if got := TriangleCount(k5); got != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", got)
+	}
+}
+
+func TestKCoreEmptyAndIsolated(t *testing.T) {
+	g := aspen.NewGraph(ctree.Params{B: 8}).InsertVertices([]uint32{0, 1, 2})
+	cores := KCore(g)
+	for v, c := range cores {
+		if c != 0 {
+			t.Fatalf("isolated coreness[%d] = %d", v, c)
+		}
+	}
+}

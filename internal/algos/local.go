@@ -1,0 +1,120 @@
+package algos
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/ligra"
+)
+
+// TwoHop returns the set of vertices within at most two hops of src
+// (excluding src itself), using two sparse edgeMap rounds — the local query
+// of §7. It deliberately avoids flat snapshots: local algorithms amortize
+// the O(log n) vertex access against the degree (§5.1).
+func TwoHop(g ligra.Graph, src uint32) []uint32 {
+	n := g.Order()
+	if int(src) >= n {
+		return nil
+	}
+	seen := make([]int32, n)
+	for i := range seen {
+		seen[i] = -1
+	}
+	seen[src] = 0
+	frontier := ligra.FromVertex(n, src)
+	var out []uint32
+	for hop := int32(1); hop <= 2 && !frontier.IsEmpty(); hop++ {
+		frontier = ligra.EdgeMap(g, frontier,
+			func(u, v uint32) bool { return casInt32(seen, v, -1, hop) },
+			func(v uint32) bool { return atomic.LoadInt32(&seen[v]) == -1 },
+			ligra.EdgeMapOpts{NoDense: true})
+		out = append(out, frontier.Sparse()...)
+	}
+	return out
+}
+
+// LocalClusterResult is the output of a Nibble run.
+type LocalClusterResult struct {
+	// Cluster is the best sweep-cut prefix (contains the seed's mass).
+	Cluster []uint32
+	// Conductance of the returned cluster (cut / min(vol, 2m - vol)).
+	Conductance float64
+	// Support is the number of vertices touched by the truncated walk.
+	Support int
+}
+
+// LocalCluster runs the sequential Nibble-Serial local clustering algorithm
+// of Spielman-Teng, the paper's second local query (§7, run with eps = 1e-6
+// and T = 10): T steps of a truncated lazy random walk from seed, followed by
+// a sweep cut over the normalized probabilities.
+func LocalCluster(g ligra.Graph, seed uint32, eps float64, T int) LocalClusterResult {
+	p := map[uint32]float64{seed: 1}
+	for t := 0; t < T; t++ {
+		next := make(map[uint32]float64, len(p)*2)
+		for v, pv := range p {
+			d := g.Degree(v)
+			if d == 0 {
+				next[v] += pv
+				continue
+			}
+			// Truncation: drop mass below eps*deg(v).
+			if pv < eps*float64(d) {
+				continue
+			}
+			next[v] += pv / 2
+			share := pv / (2 * float64(d))
+			g.ForEachNeighbor(v, func(u uint32) bool {
+				next[u] += share
+				return true
+			})
+		}
+		p = next
+	}
+	// Sweep cut by decreasing degree-normalized probability.
+	type vp struct {
+		v     uint32
+		score float64
+	}
+	order := make([]vp, 0, len(p))
+	for v, pv := range p {
+		d := g.Degree(v)
+		if d == 0 {
+			continue
+		}
+		order = append(order, vp{v, pv / float64(d)})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].score > order[j].score })
+	totalVol := float64(g.NumEdges())
+	in := map[uint32]bool{}
+	var vol, cut float64
+	best, bestAt := 2.0, -1
+	for i, o := range order {
+		d := float64(g.Degree(o.v))
+		internal := 0.0
+		g.ForEachNeighbor(o.v, func(u uint32) bool {
+			if in[u] {
+				internal++
+			}
+			return true
+		})
+		in[o.v] = true
+		vol += d
+		cut += d - 2*internal
+		denom := vol
+		if totalVol-vol < denom {
+			denom = totalVol - vol
+		}
+		if denom <= 0 {
+			break
+		}
+		if phi := cut / denom; phi < best {
+			best = phi
+			bestAt = i
+		}
+	}
+	res := LocalClusterResult{Conductance: best, Support: len(p)}
+	for i := 0; i <= bestAt; i++ {
+		res.Cluster = append(res.Cluster, order[i].v)
+	}
+	return res
+}

@@ -1,0 +1,79 @@
+package algos
+
+import (
+	"sync/atomic"
+
+	"repro/internal/ligra"
+	"repro/internal/parallel"
+	"repro/internal/xhash"
+)
+
+// Vertex states for MIS.
+const (
+	misUndecided int32 = iota
+	misIn
+	misOut
+)
+
+// MIS computes a maximal independent set with the rootset-based parallel
+// greedy algorithm (random priorities; a vertex enters the set when it beats
+// every undecided neighbor, its neighbors leave). Deterministic for a fixed
+// seed, O(log n) rounds w.h.p. Returns membership flags.
+func MIS(g ligra.Graph, seed uint64) []bool {
+	n := g.Order()
+	status := make([]int32, n)
+	prio := make([]uint64, n)
+	parallel.For(n, func(i int) {
+		prio[i] = xhash.Seeded(seed, uint64(i))<<20 | uint64(i)
+	})
+	remaining := int64(n)
+	for remaining > 0 {
+		// Phase 1: decide entrants against a frozen view of status.
+		enter := make([]bool, n)
+		var entered atomic.Int64
+		parallel.ForGrain(n, 256, func(i int) {
+			v := uint32(i)
+			if atomic.LoadInt32(&status[v]) != misUndecided {
+				return
+			}
+			wins := true
+			g.ForEachNeighbor(v, func(u uint32) bool {
+				s := atomic.LoadInt32(&status[u])
+				if s == misIn || (s == misUndecided && prio[u] < prio[v]) {
+					wins = false
+					return false
+				}
+				return true
+			})
+			if wins {
+				enter[v] = true
+				entered.Add(1)
+			}
+		})
+		if entered.Load() == 0 {
+			// No vertex can win only if the graph is empty of
+			// undecided vertices; guard against livelock.
+			break
+		}
+		// Phase 2: commit entrants and retire their neighbors.
+		var retired atomic.Int64
+		parallel.ForGrain(n, 256, func(i int) {
+			v := uint32(i)
+			if !enter[v] {
+				return
+			}
+			atomic.StoreInt32(&status[v], misIn)
+			retired.Add(1)
+			g.ForEachNeighbor(v, func(u uint32) bool {
+				if atomic.CompareAndSwapInt32(&status[u], misUndecided, misOut) {
+					retired.Add(1)
+				}
+				return true
+			})
+		})
+		remaining -= retired.Load()
+	}
+	in := make([]bool, n)
+	parallel.For(n, func(i int) { in[i] = status[i] == misIn })
+	return in
+}

@@ -1,0 +1,94 @@
+package aspen
+
+import (
+	"repro/internal/ctree"
+)
+
+// FlatSnapshot is a dense, id-indexed view of one graph version: a pointer
+// (here: a C-tree handle) per vertex plus its degree. It removes the
+// O(log n) vertex-tree lookup from every edgeMap access, the optimization of
+// §5.1 for global algorithms. Building it is O(n) work and O(log n) depth via
+// an indexed parallel traversal of the vertex-tree, and it can be built
+// concurrently with updates since it only reads the persistent version.
+type FlatSnapshot struct {
+	graph   Graph
+	trees   []ctree.Tree
+	present []bool
+	degrees []int32
+	order   int
+}
+
+// BuildFlatSnapshot materializes the flat view of g.
+func BuildFlatSnapshot(g Graph) *FlatSnapshot {
+	order := g.Order()
+	fs := &FlatSnapshot{
+		graph:   g,
+		trees:   make([]ctree.Tree, order),
+		present: make([]bool, order),
+		degrees: make([]int32, order),
+		order:   order,
+	}
+	vops.ForEachIndexed(g.vt, func(_ int, u uint32, et ctree.Tree) {
+		fs.trees[u] = et
+		fs.present[u] = true
+		fs.degrees[u] = int32(et.Size())
+	})
+	return fs
+}
+
+// Graph returns the underlying snapshot.
+func (fs *FlatSnapshot) Graph() Graph { return fs.graph }
+
+// Order returns the vertex-id space size.
+func (fs *FlatSnapshot) Order() int { return fs.order }
+
+// NumEdges returns the number of directed edges.
+func (fs *FlatSnapshot) NumEdges() uint64 { return fs.graph.NumEdges() }
+
+// Degree returns the degree of u in O(1).
+func (fs *FlatSnapshot) Degree(u uint32) int {
+	if int(u) >= fs.order {
+		return 0
+	}
+	return int(fs.degrees[u])
+}
+
+// ForEachNeighbor applies f to u's neighbors in increasing order until f
+// returns false. O(1) access to the edge tree.
+func (fs *FlatSnapshot) ForEachNeighbor(u uint32, f func(v uint32) bool) {
+	if int(u) >= fs.order || !fs.present[u] {
+		return
+	}
+	fs.trees[u].ForEach(f)
+}
+
+// ForEachNeighborPar applies f to u's neighbors with edge-tree parallelism
+// (unordered).
+func (fs *FlatSnapshot) ForEachNeighborPar(u uint32, f func(v uint32)) {
+	if int(u) >= fs.order || !fs.present[u] {
+		return
+	}
+	fs.trees[u].ForEachPar(f)
+}
+
+// HasVertex reports whether u is a vertex.
+func (fs *FlatSnapshot) HasVertex(u uint32) bool {
+	return int(u) < fs.order && fs.present[u]
+}
+
+// EdgeTree returns u's edge tree in O(1).
+func (fs *FlatSnapshot) EdgeTree(u uint32) (ctree.Tree, bool) {
+	if !fs.HasVertex(u) {
+		return ctree.Tree{}, false
+	}
+	return fs.trees[u], true
+}
+
+// MemoryBytes returns the analytic size of the flat snapshot itself: one
+// pointer-sized slot plus one degree word per id (the "Flat Snap." column of
+// Table 2 counts exactly the pointer array).
+func (fs *FlatSnapshot) MemoryBytes() uint64 {
+	// trees slot (treated as one 8-byte pointer as in the paper) + 4-byte
+	// degree + 1-byte presence.
+	return uint64(fs.order) * (8 + 4 + 1)
+}

@@ -1,0 +1,312 @@
+// Package aspen implements the Aspen graph-streaming framework (paper §5–§6):
+// an undirected graph represented as a purely-functional vertex-tree whose
+// values are C-trees of neighbor ids (a tree of compressed trees, Figure 4),
+// with lightweight snapshots, functional batch updates, flat snapshots for
+// global algorithms, and a single-writer / multi-reader versioned graph that
+// provides strictly serializable concurrent updates and queries.
+//
+// All Graph methods are read-only or functional: updates return a new Graph
+// that shares almost all structure with the old one, so existing snapshots
+// are never disturbed. Use VersionedGraph to coordinate a writer with
+// concurrent readers.
+package aspen
+
+import (
+	"repro/internal/ctree"
+	"repro/internal/parallel"
+	"repro/internal/pftree"
+)
+
+// Edge is a directed edge update. Undirected graphs insert both directions
+// (the harness helper MakeUndirected does this).
+type Edge struct {
+	Src, Dst uint32
+}
+
+// vnode is a vertex-tree node: key = vertex id, value = edge C-tree,
+// augmented with the total number of edges in the subtree so NumEdges is
+// O(1) (paper §5, "we augment the vertex-tree to store the number of edges
+// contained in its subtrees").
+type vnode = pftree.Node[uint32, ctree.Tree, uint64]
+
+var vops = &pftree.Ops[uint32, ctree.Tree, uint64]{
+	Cmp: func(a, b uint32) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	},
+	Aug: pftree.Augment[uint32, ctree.Tree, uint64]{
+		Zero:      0,
+		FromEntry: func(_ uint32, et ctree.Tree) uint64 { return et.Size() },
+		Combine:   func(a, b uint64) uint64 { return a + b },
+	},
+}
+
+// Graph is an immutable snapshot of an undirected graph. The zero Graph uses
+// unusable parameters; construct with NewGraph or FromAdjacency.
+type Graph struct {
+	p  ctree.Params
+	vt *vnode
+}
+
+// NewGraph returns an empty graph whose edge trees use params p.
+func NewGraph(p ctree.Params) Graph { return Graph{p: p} }
+
+// FromAdjacency builds a graph from adjacency lists: adj[u] lists the
+// neighbors of vertex u (they will be sorted and deduplicated). Every index
+// of adj becomes a vertex, including isolated ones.
+func FromAdjacency(p ctree.Params, adj [][]uint32) Graph {
+	entries := make([]pftree.Entry[uint32, ctree.Tree], len(adj))
+	parallel.ForGrain(len(adj), 64, func(u int) {
+		nbrs := append([]uint32(nil), adj[u]...)
+		parallel.SortUint32(nbrs)
+		nbrs = parallel.DedupSortedUint32(nbrs)
+		entries[u] = pftree.Entry[uint32, ctree.Tree]{Key: uint32(u), Val: ctree.Build(p, nbrs)}
+	})
+	return Graph{p: p, vt: vops.BuildSorted(entries)}
+}
+
+// Params returns the edge-tree parameters of g.
+func (g Graph) Params() ctree.Params { return g.p }
+
+// NumVertices returns the number of vertices, in O(1).
+func (g Graph) NumVertices() int { return g.vt.Size() }
+
+// NumEdges returns the number of directed edges, in O(1) via the vertex-tree
+// augmentation.
+func (g Graph) NumEdges() uint64 { return vops.AugOf(g.vt) }
+
+// Order returns the size of the vertex-id space (max id + 1); algorithm
+// state arrays are indexed by vertex id.
+func (g Graph) Order() int {
+	last := vops.Last(g.vt)
+	if last == nil {
+		return 0
+	}
+	return int(last.Key()) + 1
+}
+
+// HasVertex reports whether u is a vertex of g.
+func (g Graph) HasVertex(u uint32) bool {
+	_, ok := vops.Find(g.vt, u)
+	return ok
+}
+
+// EdgeTree returns u's edge C-tree. O(log n).
+func (g Graph) EdgeTree(u uint32) (ctree.Tree, bool) {
+	return vops.Find(g.vt, u)
+}
+
+// Degree returns the degree of u (0 for absent vertices). O(log n).
+func (g Graph) Degree(u uint32) int {
+	et, ok := vops.Find(g.vt, u)
+	if !ok {
+		return 0
+	}
+	return int(et.Size())
+}
+
+// HasEdge reports whether the directed edge (u, v) exists.
+func (g Graph) HasEdge(u, v uint32) bool {
+	et, ok := vops.Find(g.vt, u)
+	return ok && et.Contains(v)
+}
+
+// ForEachNeighbor applies f to u's neighbors in increasing order until f
+// returns false.
+func (g Graph) ForEachNeighbor(u uint32, f func(v uint32) bool) {
+	if et, ok := vops.Find(g.vt, u); ok {
+		et.ForEach(f)
+	}
+}
+
+// ForEachNeighborPar applies f to u's neighbors with edge-tree parallelism
+// (unordered). Tree-structured adjacency makes intra-vertex parallelism
+// possible — the capability §7.5 credits for Aspen's fast traversals of
+// high-degree vertices.
+func (g Graph) ForEachNeighborPar(u uint32, f func(v uint32)) {
+	if et, ok := vops.Find(g.vt, u); ok {
+		et.ForEachPar(f)
+	}
+}
+
+// ForEachVertex applies f to every (vertex, edge-tree) pair in id order
+// until f returns false.
+func (g Graph) ForEachVertex(f func(u uint32, et ctree.Tree) bool) {
+	vops.ForEach(g.vt, f)
+}
+
+// ForEachVertexPar applies f to every vertex in parallel.
+func (g Graph) ForEachVertexPar(f func(u uint32, et ctree.Tree)) {
+	vops.ForEachPar(g.vt, f)
+}
+
+// sortEdgeBatch encodes, sorts and dedupes a batch of directed edges,
+// returning packed (src<<32 | dst) keys. O(k log k) work.
+func sortEdgeBatch(edges []Edge) []uint64 {
+	packed := make([]uint64, len(edges))
+	parallel.For(len(edges), func(i int) {
+		packed[i] = uint64(edges[i].Src)<<32 | uint64(edges[i].Dst)
+	})
+	parallel.SortUint64(packed)
+	return parallel.DedupSortedUint64(packed)
+}
+
+// groupBySource splits the packed sorted batch into per-source runs of
+// destination ids.
+func groupBySource(packed []uint64) (srcs []uint32, dsts [][]uint32) {
+	for i := 0; i < len(packed); {
+		src := uint32(packed[i] >> 32)
+		j := i
+		for j < len(packed) && uint32(packed[j]>>32) == src {
+			j++
+		}
+		run := make([]uint32, j-i)
+		for k := i; k < j; k++ {
+			run[k-i] = uint32(packed[k])
+		}
+		srcs = append(srcs, src)
+		dsts = append(dsts, run)
+		i = j
+	}
+	return srcs, dsts
+}
+
+// InsertEdges returns a graph with the batch inserted (duplicates combined).
+// Vertices appearing as sources or destinations are created as needed. This
+// is the paper's batch-update algorithm (§5): sort, group, build per-source
+// edge trees, then MultiInsert into the vertex-tree with a combine function
+// that unions edge trees. O(k log n) work, polylog depth.
+func (g Graph) InsertEdges(edges []Edge) Graph {
+	if len(edges) == 0 {
+		return g
+	}
+	packed := sortEdgeBatch(edges)
+	srcs, dsts := groupBySource(packed)
+	entries := make([]pftree.Entry[uint32, ctree.Tree], len(srcs))
+	parallel.ForGrain(len(srcs), 16, func(i int) {
+		entries[i] = pftree.Entry[uint32, ctree.Tree]{Key: srcs[i], Val: ctree.Build(g.p, dsts[i])}
+	})
+	root := vops.MultiInsert(g.vt, entries, func(old, new ctree.Tree) ctree.Tree {
+		return old.Union(new)
+	})
+	// Ensure destination endpoints exist as vertices so traversals can
+	// land on them.
+	dstIDs := make([]uint32, len(packed))
+	parallel.For(len(packed), func(i int) { dstIDs[i] = uint32(packed[i]) })
+	parallel.SortUint32(dstIDs)
+	dstIDs = parallel.DedupSortedUint32(dstIDs)
+	missing := make([]pftree.Entry[uint32, ctree.Tree], 0, len(dstIDs))
+	for _, d := range dstIDs {
+		if _, ok := vops.Find(root, d); !ok {
+			missing = append(missing, pftree.Entry[uint32, ctree.Tree]{Key: d, Val: ctree.New(g.p)})
+		}
+	}
+	if len(missing) > 0 {
+		root = vops.MultiInsert(root, missing, func(old, _ ctree.Tree) ctree.Tree { return old })
+	}
+	return Graph{p: g.p, vt: root}
+}
+
+// DeleteEdges returns a graph with the batch removed; absent edges are
+// ignored and vertices are kept even at degree zero (the paper makes
+// singleton removal optional).
+func (g Graph) DeleteEdges(edges []Edge) Graph {
+	if len(edges) == 0 {
+		return g
+	}
+	packed := sortEdgeBatch(edges)
+	srcs, dsts := groupBySource(packed)
+	entries := make([]pftree.Entry[uint32, ctree.Tree], 0, len(srcs))
+	keep := make([]bool, len(srcs))
+	parallel.ForGrain(len(srcs), 16, func(i int) {
+		_, ok := vops.Find(g.vt, srcs[i])
+		keep[i] = ok
+	})
+	for i := range srcs {
+		if keep[i] {
+			entries = append(entries, pftree.Entry[uint32, ctree.Tree]{
+				Key: srcs[i], Val: ctree.Build(g.p, dsts[i]),
+			})
+		}
+	}
+	if len(entries) == 0 {
+		return g
+	}
+	root := vops.MultiInsert(g.vt, entries, func(old, del ctree.Tree) ctree.Tree {
+		return old.Difference(del)
+	})
+	return Graph{p: g.p, vt: root}
+}
+
+// InsertVertices adds the given vertex ids with empty edge trees.
+func (g Graph) InsertVertices(ids []uint32) Graph {
+	if len(ids) == 0 {
+		return g
+	}
+	sorted := append([]uint32(nil), ids...)
+	parallel.SortUint32(sorted)
+	sorted = parallel.DedupSortedUint32(sorted)
+	entries := make([]pftree.Entry[uint32, ctree.Tree], len(sorted))
+	for i, id := range sorted {
+		entries[i] = pftree.Entry[uint32, ctree.Tree]{Key: id, Val: ctree.New(g.p)}
+	}
+	root := vops.MultiInsert(g.vt, entries, func(old, _ ctree.Tree) ctree.Tree { return old })
+	return Graph{p: g.p, vt: root}
+}
+
+// DeleteVertices removes the given vertices and every edge incident to them
+// (the induced-subgraph semantics of the paper's interface, G[V \ V']).
+func (g Graph) DeleteVertices(ids []uint32) Graph {
+	if len(ids) == 0 {
+		return g
+	}
+	sorted := append([]uint32(nil), ids...)
+	parallel.SortUint32(sorted)
+	sorted = parallel.DedupSortedUint32(sorted)
+	root := vops.MultiDelete(g.vt, sorted)
+	// Strip edges pointing at the removed vertices from every survivor.
+	del := ctree.Build(g.p, sorted)
+	entries := make([]pftree.Entry[uint32, ctree.Tree], 0, root.Size())
+	vops.ForEach(root, func(u uint32, et ctree.Tree) bool {
+		entries = append(entries, pftree.Entry[uint32, ctree.Tree]{Key: u, Val: et})
+		return true
+	})
+	parallel.ForGrain(len(entries), 16, func(i int) {
+		entries[i].Val = entries[i].Val.Difference(del)
+	})
+	return Graph{p: g.p, vt: vops.BuildSorted(entries)}
+}
+
+// Stats aggregates the memory shape of the whole graph: vertex-tree nodes
+// plus all edge C-trees. Used by the space experiments.
+type Stats struct {
+	VertexNodes int
+	Edge        ctree.Stats
+}
+
+// Stats walks the graph and returns its memory shape.
+func (g Graph) Stats() Stats {
+	s := Stats{VertexNodes: g.vt.Size()}
+	vops.ForEach(g.vt, func(_ uint32, et ctree.Tree) bool {
+		s.Edge.Add(et.Stats())
+		return true
+	})
+	return s
+}
+
+// MakeUndirected duplicates each edge in both directions, the form batch
+// updates on symmetric graphs use (paper §7.3 inserts each undirected edge
+// as two directed updates within a single batch).
+func MakeUndirected(edges []Edge) []Edge {
+	out := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		out = append(out, e, Edge{Src: e.Dst, Dst: e.Src})
+	}
+	return out
+}

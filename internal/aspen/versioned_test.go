@@ -1,0 +1,150 @@
+package aspen
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ctree"
+	"repro/internal/xhash"
+)
+
+func TestAcquireReleaseAccounting(t *testing.T) {
+	vg := NewVersionedGraph(NewGraph(params()))
+	v1 := vg.Acquire()
+	v2 := vg.Acquire()
+	if v1 != v2 {
+		t.Fatal("concurrent acquires of one version should share it")
+	}
+	if vg.Release(v1) {
+		t.Fatal("release should not report last while current")
+	}
+	vg.InsertEdges([]Edge{{1, 2}}) // supersedes v1
+	if !vg.Release(v2) {
+		t.Fatal("releasing the last reference of a superseded version should report true")
+	}
+}
+
+func TestUpdateVisibility(t *testing.T) {
+	vg := NewVersionedGraph(NewGraph(params()))
+	before := vg.Acquire()
+	stamp := vg.InsertEdges(MakeUndirected([]Edge{{1, 2}}))
+	after := vg.Acquire()
+	if before.Graph.NumEdges() != 0 {
+		t.Fatal("old snapshot observed the update")
+	}
+	if after.Graph.NumEdges() != 2 {
+		t.Fatalf("new snapshot has %d edges, want 2", after.Graph.NumEdges())
+	}
+	if after.Stamp != stamp || vg.Current() != stamp {
+		t.Fatal("stamps inconsistent")
+	}
+	vg.Release(before)
+	vg.Release(after)
+}
+
+// TestSnapshotIsolation checks strict serializability from the reader side:
+// a batch inserts a clique edge set atomically, so any snapshot must observe
+// either none or all edges of a batch, never a partial batch.
+func TestSnapshotIsolation(t *testing.T) {
+	vg := NewVersionedGraph(NewGraph(params()))
+	const batches = 50
+	const perBatch = 20
+	var stop atomic.Bool
+	var readerErr atomic.Value
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			v := vg.Acquire()
+			m := v.Graph.NumEdges()
+			if m%perBatch != 0 {
+				readerErr.Store(m)
+				stop.Store(true)
+			}
+			vg.Release(v)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		r := xhash.NewRNG(7)
+		for b := 0; b < batches && !stop.Load(); b++ {
+			edges := make([]Edge, perBatch)
+			for i := range edges {
+				// Unique endpoints per batch so every batch adds
+				// exactly perBatch directed edges.
+				base := uint32(b*2*perBatch + 2*i)
+				edges[i] = Edge{Src: base, Dst: base + 1}
+			}
+			_ = r
+			vg.InsertEdges(edges)
+		}
+		stop.Store(true)
+	}()
+	wg.Wait()
+	if v := readerErr.Load(); v != nil {
+		t.Fatalf("reader observed partial batch: %d edges", v)
+	}
+	final := vg.Acquire()
+	if final.Graph.NumEdges() != batches*perBatch {
+		t.Fatalf("final edges = %d, want %d", final.Graph.NumEdges(), batches*perBatch)
+	}
+	vg.Release(final)
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	vg := NewVersionedGraph(NewGraph(ctree.DefaultParams()))
+	const writers = 4
+	const each = 25
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				u := uint32(w*1000 + i)
+				vg.InsertEdges([]Edge{{Src: u, Dst: u + 1}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	v := vg.Acquire()
+	defer vg.Release(v)
+	if got := v.Graph.NumEdges(); got != writers*each {
+		t.Fatalf("NumEdges = %d, want %d", got, writers*each)
+	}
+	if vg.Current() != writers*each {
+		t.Fatalf("stamp = %d, want %d", vg.Current(), writers*each)
+	}
+}
+
+func TestConcurrentFlatSnapshotDuringUpdates(t *testing.T) {
+	vg := NewVersionedGraph(NewGraph(params()))
+	vg.InsertEdges(MakeUndirected([]Edge{{0, 1}, {1, 2}, {2, 3}}))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var bad atomic.Bool
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			v := vg.Acquire()
+			fs := BuildFlatSnapshot(v.Graph)
+			if fs.NumEdges() != v.Graph.NumEdges() {
+				bad.Store(true)
+			}
+			vg.Release(v)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := uint32(0); i < 50; i++ {
+			vg.InsertEdges(MakeUndirected([]Edge{{i, i + 100}}))
+		}
+	}()
+	wg.Wait()
+	if bad.Load() {
+		t.Fatal("flat snapshot disagreed with its version")
+	}
+}

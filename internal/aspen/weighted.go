@@ -1,0 +1,185 @@
+package aspen
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/pftree"
+)
+
+// WeightedGraph extends Aspen with real-valued edge weights — functionality
+// the paper explicitly defers to future work (§6: "Aspen currently does not
+// support weighted edges"). Edge trees here are purely-functional
+// (uncompressed) trees mapping neighbor id to weight; the vertex-tree is
+// augmented with the edge count exactly as in the unweighted graph, so the
+// versioned-graph machinery and the algorithm interface carry over.
+type WeightedGraph struct {
+	vt *pftree.Node[uint32, wedgeTree, uint64]
+}
+
+// WeightedEdge is a directed weighted edge update.
+type WeightedEdge struct {
+	Src, Dst uint32
+	Weight   float32
+}
+
+// wedgeTree is one vertex's weighted adjacency: dst -> weight, augmented
+// with the subtree edge count (trivially the size, kept for symmetry).
+type wedgeTree = *pftree.Node[uint32, float32, uint64]
+
+func cmpU32(a, b uint32) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+var weops = &pftree.Ops[uint32, float32, uint64]{
+	Cmp: cmpU32,
+	Aug: pftree.Augment[uint32, float32, uint64]{
+		Zero:      0,
+		FromEntry: func(uint32, float32) uint64 { return 1 },
+		Combine:   func(a, b uint64) uint64 { return a + b },
+	},
+}
+
+var wvops = &pftree.Ops[uint32, wedgeTree, uint64]{
+	Cmp: cmpU32,
+	Aug: pftree.Augment[uint32, wedgeTree, uint64]{
+		Zero:      0,
+		FromEntry: func(_ uint32, et wedgeTree) uint64 { return uint64(et.Size()) },
+		Combine:   func(a, b uint64) uint64 { return a + b },
+	},
+}
+
+// NewWeightedGraph returns an empty weighted graph.
+func NewWeightedGraph() WeightedGraph { return WeightedGraph{} }
+
+// NumVertices returns the number of vertices in O(1).
+func (g WeightedGraph) NumVertices() int { return g.vt.Size() }
+
+// NumEdges returns the number of directed edges in O(1) via augmentation.
+func (g WeightedGraph) NumEdges() uint64 { return wvops.AugOf(g.vt) }
+
+// Order returns the vertex-id space size (max id + 1).
+func (g WeightedGraph) Order() int {
+	last := wvops.Last(g.vt)
+	if last == nil {
+		return 0
+	}
+	return int(last.Key()) + 1
+}
+
+// Degree returns u's degree.
+func (g WeightedGraph) Degree(u uint32) int {
+	et, ok := wvops.Find(g.vt, u)
+	if !ok {
+		return 0
+	}
+	return et.Size()
+}
+
+// Weight returns the weight of edge (u, v).
+func (g WeightedGraph) Weight(u, v uint32) (float32, bool) {
+	et, ok := wvops.Find(g.vt, u)
+	if !ok {
+		return 0, false
+	}
+	return weops.Find(et, v)
+}
+
+// ForEachNeighbor applies f to u's neighbors in increasing order (weights
+// dropped), satisfying the ligra.Graph interface.
+func (g WeightedGraph) ForEachNeighbor(u uint32, f func(v uint32) bool) {
+	et, ok := wvops.Find(g.vt, u)
+	if !ok {
+		return
+	}
+	weops.ForEach(et, func(v uint32, _ float32) bool { return f(v) })
+}
+
+// ForEachNeighborWeight applies f to (neighbor, weight) pairs in order.
+func (g WeightedGraph) ForEachNeighborWeight(u uint32, f func(v uint32, w float32) bool) {
+	et, ok := wvops.Find(g.vt, u)
+	if !ok {
+		return
+	}
+	weops.ForEach(et, f)
+}
+
+// InsertEdges adds a batch of weighted directed edges; duplicate updates to
+// the same edge keep the last weight in batch order, and updates to existing
+// edges overwrite their weight (the paper's interface allows weight updates
+// through the same insertion path, §5).
+func (g WeightedGraph) InsertEdges(edges []WeightedEdge) WeightedGraph {
+	if len(edges) == 0 {
+		return g
+	}
+	// Group by source; last write per (src, dst) wins.
+	bySrc := map[uint32]map[uint32]float32{}
+	for _, e := range edges {
+		if bySrc[e.Src] == nil {
+			bySrc[e.Src] = map[uint32]float32{}
+		}
+		bySrc[e.Src][e.Dst] = e.Weight
+	}
+	srcs := make([]uint32, 0, len(bySrc))
+	for u := range bySrc {
+		srcs = append(srcs, u)
+	}
+	parallel.SortUint32(srcs)
+	entries := make([]pftree.Entry[uint32, wedgeTree], len(srcs))
+	parallel.ForGrain(len(srcs), 16, func(i int) {
+		u := srcs[i]
+		dsts := make([]uint32, 0, len(bySrc[u]))
+		for v := range bySrc[u] {
+			dsts = append(dsts, v)
+		}
+		parallel.SortUint32(dsts)
+		sub := make([]pftree.Entry[uint32, float32], len(dsts))
+		for j, v := range dsts {
+			sub[j] = pftree.Entry[uint32, float32]{Key: v, Val: bySrc[u][v]}
+		}
+		entries[i] = pftree.Entry[uint32, wedgeTree]{Key: u, Val: weops.BuildSorted(sub)}
+	})
+	root := wvops.MultiInsert(g.vt, entries, func(old, new wedgeTree) wedgeTree {
+		return weops.Union(old, new, nil) // new weights win
+	})
+	return WeightedGraph{vt: root}
+}
+
+// DeleteEdges removes a batch of directed edges (weights ignored).
+func (g WeightedGraph) DeleteEdges(edges []WeightedEdge) WeightedGraph {
+	bySrc := map[uint32][]uint32{}
+	for _, e := range edges {
+		bySrc[e.Src] = append(bySrc[e.Src], e.Dst)
+	}
+	root := g.vt
+	for u, dsts := range bySrc {
+		et, ok := wvops.Find(root, u)
+		if !ok {
+			continue
+		}
+		parallel.SortUint32(dsts)
+		dsts = parallel.DedupSortedUint32(dsts)
+		et2 := weops.MultiDelete(et, dsts)
+		root = wvops.Insert(root, u, et2, nil)
+	}
+	return WeightedGraph{vt: root}
+}
+
+// TotalWeight sums all edge weights (an example of an associative
+// aggregation the paper notes could be maintained by augmentation).
+func (g WeightedGraph) TotalWeight() float64 {
+	var total float64
+	wvops.ForEach(g.vt, func(_ uint32, et wedgeTree) bool {
+		weops.ForEach(et, func(_ uint32, w float32) bool {
+			total += float64(w)
+			return true
+		})
+		return true
+	})
+	return total
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"repro/internal/aspen"
+	"repro/internal/ctree"
+	"repro/internal/encoding"
+)
+
+// Analytic node sizes from the paper (§7.1): in the uncompressed format a
+// vertex-tree node is 48 bytes and an edge-tree node 32 bytes; with C-trees
+// a vertex-tree node is 56 bytes (prefix pointers + padding) and an
+// edge-tree (head) node 48 bytes. Computing memory analytically from node
+// and chunk counts mirrors how the paper itself reports footprints for
+// graphs that exceed physical memory.
+const (
+	uncompVertexNode = 48
+	uncompEdgeNode   = 32
+	ctreeVertexNode  = 56
+	ctreeEdgeNode    = 48
+)
+
+// aspenMemoryBytes returns the analytic footprint of an Aspen graph under
+// its configured format.
+func aspenMemoryBytes(g aspen.Graph) uint64 {
+	s := g.Stats()
+	if g.Params().Plain {
+		return uint64(s.VertexNodes)*uncompVertexNode + uint64(s.Edge.Nodes)*uncompEdgeNode
+	}
+	return uint64(s.VertexNodes)*ctreeVertexNode +
+		uint64(s.Edge.Nodes)*ctreeEdgeNode +
+		uint64(s.Edge.ChunkBytes)
+}
+
+// flatSnapshotBytes is the footprint of a flat snapshot: one 8-byte pointer
+// per vertex id (Table 2's "Flat Snap." column).
+func flatSnapshotBytes(g aspen.Graph) uint64 {
+	return uint64(g.Order()) * 8
+}
+
+// aspenFormats enumerates the three memory formats of Table 2.
+type aspenFormat struct {
+	name string
+	p    ctree.Params
+}
+
+func aspenFormats(b uint32) []aspenFormat {
+	return []aspenFormat{
+		{"Aspen Uncomp.", ctree.PlainParams()},
+		{"Aspen (No DE)", ctree.Params{B: b, Codec: encoding.Raw}},
+		{"Aspen (DE)", ctree.Params{B: b, Codec: encoding.Delta}},
+	}
+}

@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/aspen"
+	"repro/internal/csr"
+	"repro/internal/ctree"
+	"repro/internal/llama"
+	"repro/internal/parallel"
+	"repro/internal/stinger"
+	"repro/internal/worklist"
+)
+
+// Config selects the experiment scale.
+type Config struct {
+	// Quick shrinks every input for smoke tests and CI.
+	Quick bool
+	// Procs is the all-core worker count (0 = current parallel.Procs).
+	Procs int
+}
+
+func (c Config) procs() int {
+	if c.Procs > 0 {
+		return c.Procs
+	}
+	return parallel.Procs
+}
+
+// tw returns a tab-aligned writer that callers must Flush.
+func tw(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// Table1 prints the input-graph statistics table (paper Table 1).
+func Table1(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "Graph\tStand-in for\tNum. Vertices\tNum. Edges\tAvg. Deg.")
+	for _, d := range datasets(cfg.Quick) {
+		adj := d.Adjacency()
+		n := len(adj)
+		m := d.NumEdges()
+		fmt.Fprintf(t, "%s\t%s\t%d\t%d\t%.1f\n", d.Name, d.StandIn, n, m, float64(m)/float64(n))
+	}
+	t.Flush()
+}
+
+// Table2 prints the memory-usage comparison across Aspen formats (Table 2).
+func Table2(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "Graph\tFlat Snap.\tAspen Uncomp.\tAspen (No DE)\tAspen (DE)\tSavings")
+	for _, d := range datasets(cfg.Quick) {
+		var cols []string
+		var uncomp, de uint64
+		var flat uint64
+		for _, f := range aspenFormats(ctree.DefaultB) {
+			g := d.AspenGraph(f.p)
+			mem := aspenMemoryBytes(g)
+			if f.name == "Aspen Uncomp." {
+				uncomp = mem
+				flat = flatSnapshotBytes(g)
+			}
+			if f.name == "Aspen (DE)" {
+				de = mem
+			}
+			cols = append(cols, gb(mem))
+		}
+		fmt.Fprintf(t, "%s\t%s\t%s\t%s\t%s\t%.2fx\n",
+			d.Name, gb(flat), cols[0], cols[1], cols[2], float64(uncomp)/float64(de))
+	}
+	t.Flush()
+}
+
+// algoSet runs the five benchmark algorithms of Tables 3-4 on g, returning
+// named durations. Local queries are averaged over several sources.
+func algoSet(g aspen.Graph, quick bool) map[string]time.Duration {
+	fs := aspen.BuildFlatSnapshot(g)
+	src := firstNonIsolated(fs)
+	out := map[string]time.Duration{}
+	out["BFS"] = timeIt(func() { algos.BFS(fs, src, false) })
+	out["BC"] = timeIt(func() { algos.BC(fs, src, false) })
+	out["MIS"] = timeIt(func() { algos.MIS(fs, 42) })
+	locals := 32
+	if quick {
+		locals = 4
+	}
+	d := timeIt(func() {
+		for i := 0; i < locals; i++ {
+			algos.TwoHop(g, uint32(i*7)%uint32(g.Order()))
+		}
+	})
+	out["2-hop"] = d / time.Duration(locals)
+	d = timeIt(func() {
+		for i := 0; i < locals; i++ {
+			algos.LocalCluster(g, uint32(i*13)%uint32(g.Order()), 1e-6, 10)
+		}
+	})
+	out["Local-Cluster"] = d / time.Duration(locals)
+	return out
+}
+
+func firstNonIsolated(g interface {
+	Order() int
+	Degree(u uint32) int
+}) uint32 {
+	for u := 0; u < g.Order(); u++ {
+		if g.Degree(uint32(u)) > 0 {
+			return uint32(u)
+		}
+	}
+	return 0
+}
+
+// Table34 prints algorithm running times with 1 thread and all cores plus
+// self-relative speedups (Tables 3 and 4 merged across datasets).
+func Table34(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintf(t, "Graph\tApplication\t(1)\t(%dc)\t(SU)\n", cfg.procs())
+	names := []string{"BFS", "BC", "MIS", "2-hop", "Local-Cluster"}
+	for _, d := range datasets(cfg.Quick) {
+		g := d.AspenGraph(ctree.DefaultParams())
+		var seq, par map[string]time.Duration
+		withProcs(1, func() { seq = algoSet(g, cfg.Quick) })
+		withProcs(cfg.procs(), func() { par = algoSet(g, cfg.Quick) })
+		for _, name := range names {
+			su := float64(seq[name]) / float64(par[name])
+			fmt.Fprintf(t, "%s\t%s\t%s\t%s\t%.2f\n", d.Name, name, secs(seq[name]), secs(par[name]), su)
+		}
+	}
+	t.Flush()
+}
+
+// Table5 prints memory and algorithm performance as a function of the chunk
+// size b (Table 5).
+func Table5(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "b (Exp. Chunk Size)\tMemory\tBFS\tBC\tMIS")
+	ds := datasets(cfg.Quick)
+	d := ds[len(ds)-1] // largest configured dataset (Twitter stand-in role)
+	maxExp := 12
+	if cfg.Quick {
+		maxExp = 6
+	}
+	for exp := 1; exp <= maxExp; exp++ {
+		p := ctree.DefaultParams()
+		p.B = 1 << exp
+		g := d.AspenGraph(p)
+		mem := aspenMemoryBytes(g)
+		fs := aspen.BuildFlatSnapshot(g)
+		src := firstNonIsolated(fs)
+		bfs := timeIt(func() { algos.BFS(fs, src, false) })
+		bc := timeIt(func() { algos.BC(fs, src, false) })
+		mis := timeIt(func() { algos.MIS(fs, 42) })
+		fmt.Fprintf(t, "2^%d\t%s\t%s\t%s\t%s\n", exp, gb(mem), secs(bfs), secs(bc), secs(mis))
+	}
+	t.Flush()
+}
+
+// Table6 prints BFS with and without flat snapshots plus the snapshot build
+// time (Table 6).
+func Table6(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "Graph\tWithout FS\tWith FS\tSpeedup\tFS Time")
+	for _, d := range datasets(cfg.Quick) {
+		g := d.AspenGraph(ctree.DefaultParams())
+		src := uint32(0)
+		without := medianOf3(func() { algos.BFS(g, src, false) })
+		var fs *aspen.FlatSnapshot
+		fsTime := medianOf3(func() { fs = aspen.BuildFlatSnapshot(g) })
+		with := medianOf3(func() { algos.BFS(fs, src, false) })
+		fmt.Fprintf(t, "%s\t%s\t%s\t%.2f\t%s\n",
+			d.Name, secs(without), secs(with+fsTime), float64(without)/float64(with+fsTime), secs(fsTime))
+	}
+	t.Flush()
+}
+
+// Table13 prints BFS over uncompressed trees vs C-trees (appendix Table 13).
+func Table13(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "Graph\tAspen Uncomp.\tAspen (DE)\t(S)")
+	for _, d := range datasets(cfg.Quick) {
+		gu := d.AspenGraph(ctree.PlainParams())
+		gc := d.AspenGraph(ctree.DefaultParams())
+		fu := aspen.BuildFlatSnapshot(gu)
+		fc := aspen.BuildFlatSnapshot(gc)
+		src := firstNonIsolated(fc)
+		tu := medianOf3(func() { algos.BFS(fu, src, false) })
+		tc := medianOf3(func() { algos.BFS(fc, src, false) })
+		fmt.Fprintf(t, "%s\t%s\t%s\t%.2fx\n", d.Name, secs(tu), secs(tc), float64(tu)/float64(tc))
+	}
+	t.Flush()
+}
+
+// AblationDirOpt compares Aspen BFS and BC with and without the direction
+// optimization of §5.1 — the design-choice ablation for the sparse/dense
+// traversal switch (the paper isolates it in Table 11's "A" vs "A†"
+// columns).
+func AblationDirOpt(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "Graph\tBFS (sparse only)\tBFS (dir. opt.)\tSpeedup\tBC (sparse only)\tBC (dir. opt.)\tSpeedup")
+	for _, d := range datasets(cfg.Quick) {
+		fs := aspen.BuildFlatSnapshot(d.AspenGraph(ctree.DefaultParams()))
+		src := firstNonIsolated(fs)
+		bfsNo := medianOf3(func() { algos.BFS(fs, src, true) })
+		bfsYes := medianOf3(func() { algos.BFS(fs, src, false) })
+		bcNo := medianOf3(func() { algos.BC(fs, src, true) })
+		bcYes := medianOf3(func() { algos.BC(fs, src, false) })
+		fmt.Fprintf(t, "%s\t%s\t%s\t%.2fx\t%s\t%s\t%.2fx\n", d.Name,
+			secs(bfsNo), secs(bfsYes), float64(bfsNo)/float64(bfsYes),
+			secs(bcNo), secs(bcYes), float64(bcNo)/float64(bcYes))
+	}
+	t.Flush()
+}
+
+// Table9 prints the memory comparison against Stinger, LLAMA and Ligra+
+// (Table 9).
+func Table9(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "Graph\tST\tLL\tLigra+\tAspen\tST/Asp.\tLL/Asp.\tL+/Asp.")
+	for _, d := range datasets(cfg.Quick) {
+		adj := d.Adjacency()
+		st := stinger.New(len(adj))
+		for u, nbrs := range adj {
+			for _, v := range nbrs {
+				st.InsertEdge(uint32(u), v)
+			}
+		}
+		ll := llama.FromAdjacency(adj)
+		lp := csr.CompressAdjacency(adj)
+		asp := d.AspenGraph(ctree.DefaultParams())
+		stB, llB, lpB, aB := st.MemoryBytes(), ll.MemoryBytes(), lp.MemoryBytes(), aspenMemoryBytes(asp)
+		fmt.Fprintf(t, "%s\t%s\t%s\t%s\t%s\t%.2fx\t%.2fx\t%.3fx\n",
+			d.Name, gb(stB), gb(llB), gb(lpB), gb(aB),
+			float64(stB)/float64(aB), float64(llB)/float64(aB), float64(lpB)/float64(aB))
+	}
+	t.Flush()
+}
+
+// Table11 prints BFS and BC running times for Stinger, LLAMA and Aspen with
+// direction optimization disabled for fairness (Table 11).
+func Table11(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "App.\tGraph\tST\tLL\tAspen\tST/A\tLL/A")
+	for _, d := range datasets(cfg.Quick) {
+		adj := d.Adjacency()
+		st := stinger.New(len(adj))
+		for u, nbrs := range adj {
+			for _, v := range nbrs {
+				st.InsertEdge(uint32(u), v)
+			}
+		}
+		ll := llama.FromAdjacency(adj)
+		asp := aspen.BuildFlatSnapshot(d.AspenGraph(ctree.DefaultParams()))
+		src := firstNonIsolated(asp)
+		stBFS := medianOf3(func() { algos.BFS(st, src, true) })
+		llBFS := medianOf3(func() { algos.BFS(ll, src, true) })
+		aBFS := medianOf3(func() { algos.BFS(asp, src, true) })
+		fmt.Fprintf(t, "BFS\t%s\t%s\t%s\t%s\t%.2f\t%.2f\n", d.Name,
+			secs(stBFS), secs(llBFS), secs(aBFS),
+			float64(stBFS)/float64(aBFS), float64(llBFS)/float64(aBFS))
+		stBC := medianOf3(func() { algos.BC(st, src, true) })
+		llBC := medianOf3(func() { algos.BC(ll, src, true) })
+		aBC := medianOf3(func() { algos.BC(asp, src, true) })
+		fmt.Fprintf(t, "BC\t%s\t%s\t%s\t%s\t%.2f\t%.2f\n", d.Name,
+			secs(stBC), secs(llBC), secs(aBC),
+			float64(stBC)/float64(aBC), float64(llBC)/float64(aBC))
+	}
+	t.Flush()
+}
+
+// Table12 prints BFS, BC and MIS against the static baselines: GAP-style
+// flat CSR, Galois-style async worklist, and Ligra+-style compressed CSR
+// (Table 12).
+func Table12(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "App.\tGraph\tGAP\tGalois\tLigra+\tAspen\tGAP/A\tGAL/A\tL+/A")
+	for _, d := range datasets(cfg.Quick) {
+		adj := d.Adjacency()
+		gap := csr.FromAdjacency(adj)
+		lp := csr.CompressAdjacency(adj)
+		asp := aspen.BuildFlatSnapshot(d.AspenGraph(ctree.DefaultParams()))
+		src := firstNonIsolated(asp)
+
+		gapBFS := medianOf3(func() { algos.BFS(gap, src, false) })
+		galBFS := medianOf3(func() { worklist.BFSAsync(gap, src) })
+		lpBFS := medianOf3(func() { algos.BFS(lp, src, false) })
+		aBFS := medianOf3(func() { algos.BFS(asp, src, false) })
+		fmt.Fprintf(t, "BFS\t%s\t%s\t%s\t%s\t%s\t%.2fx\t%.2fx\t%.2fx\n", d.Name,
+			secs(gapBFS), secs(galBFS), secs(lpBFS), secs(aBFS),
+			float64(gapBFS)/float64(aBFS), float64(galBFS)/float64(aBFS), float64(lpBFS)/float64(aBFS))
+
+		gapBC := medianOf3(func() { algos.BC(gap, src, false) })
+		lpBC := medianOf3(func() { algos.BC(lp, src, false) })
+		aBC := medianOf3(func() { algos.BC(asp, src, false) })
+		fmt.Fprintf(t, "BC\t%s\t%s\t-\t%s\t%s\t%.2fx\t-\t%.2fx\n", d.Name,
+			secs(gapBC), secs(lpBC), secs(aBC),
+			float64(gapBC)/float64(aBC), float64(lpBC)/float64(aBC))
+
+		galMIS := medianOf3(func() { worklist.MISSerial(gap) })
+		lpMIS := medianOf3(func() { algos.MIS(lp, 42) })
+		aMIS := medianOf3(func() { algos.MIS(asp, 42) })
+		fmt.Fprintf(t, "MIS\t%s\t-\t%s\t%s\t%s\t-\t%.2fx\t%.2fx\n", d.Name,
+			secs(galMIS), secs(lpMIS), secs(aMIS),
+			float64(galMIS)/float64(aMIS), float64(lpMIS)/float64(aMIS))
+	}
+	t.Flush()
+}
+
+// Table1415 prints the full Ligra+ vs Aspen algorithm comparison (appendix
+// Tables 14 and 15).
+func Table1415(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "Application\tGraph\tL\tA\tA/L")
+	for _, d := range datasets(cfg.Quick) {
+		adj := d.Adjacency()
+		lp := csr.CompressAdjacency(adj)
+		g := d.AspenGraph(ctree.DefaultParams())
+		fs := aspen.BuildFlatSnapshot(g)
+		src := firstNonIsolated(fs)
+		row := func(name string, lf, af func()) {
+			lt := medianOf3(lf)
+			at := medianOf3(af)
+			fmt.Fprintf(t, "%s\t%s\t%s\t%s\t%.2fx\n", name, d.Name, secs(lt), secs(at), float64(at)/float64(lt))
+		}
+		row("BFS", func() { algos.BFS(lp, src, false) }, func() { algos.BFS(fs, src, false) })
+		row("BC", func() { algos.BC(lp, src, false) }, func() { algos.BC(fs, src, false) })
+		row("MIS", func() { algos.MIS(lp, 42) }, func() { algos.MIS(fs, 42) })
+		row("2-hop", func() { algos.TwoHop(lp, src) }, func() { algos.TwoHop(g, src) })
+		row("Local-Cluster",
+			func() { algos.LocalCluster(lp, src, 1e-6, 10) },
+			func() { algos.LocalCluster(g, src, 1e-6, 10) })
+	}
+	t.Flush()
+}

@@ -1,0 +1,87 @@
+package csr
+
+import (
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/rmat"
+)
+
+func TestFlatCSRBasics(t *testing.T) {
+	adj := [][]uint32{{1, 2}, {0}, {0}, {}}
+	g := FromAdjacency(adj)
+	if g.Order() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("order=%d m=%d", g.Order(), g.NumEdges())
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 0 {
+		t.Fatal("degrees wrong")
+	}
+	var nbrs []uint32
+	g.ForEachNeighbor(0, func(v uint32) bool { nbrs = append(nbrs, v); return true })
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 2 {
+		t.Fatalf("neighbors = %v", nbrs)
+	}
+	if g.MemoryBytes() == 0 {
+		t.Fatal("memory accounting zero")
+	}
+}
+
+func TestCompressedMatchesFlat(t *testing.T) {
+	gen := rmat.NewGenerator(10, 42)
+	adj := gen.Adjacency(8000)
+	flat := FromAdjacency(adj)
+	comp := CompressAdjacency(adj)
+	if flat.Order() != comp.Order() || flat.NumEdges() != comp.NumEdges() {
+		t.Fatal("headers differ")
+	}
+	for u := 0; u < flat.Order(); u++ {
+		if flat.Degree(uint32(u)) != comp.Degree(uint32(u)) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+		var a, b []uint32
+		flat.ForEachNeighbor(uint32(u), func(v uint32) bool { a = append(a, v); return true })
+		comp.ForEachNeighbor(uint32(u), func(v uint32) bool { b = append(b, v); return true })
+		if len(a) != len(b) {
+			t.Fatalf("neighbor count mismatch at %d", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("neighbor mismatch at %d", u)
+			}
+		}
+	}
+}
+
+func TestCompressionSavesSpace(t *testing.T) {
+	gen := rmat.NewGenerator(12, 7)
+	adj := gen.Adjacency(60_000)
+	flat := FromAdjacency(adj)
+	comp := CompressAdjacency(adj)
+	if comp.MemoryBytes() >= flat.MemoryBytes() {
+		t.Fatalf("compressed %d >= flat %d bytes", comp.MemoryBytes(), flat.MemoryBytes())
+	}
+	if comp.BytesPerEdge() <= 0 {
+		t.Fatal("bytes/edge should be positive")
+	}
+}
+
+func TestAlgorithmsOverCSR(t *testing.T) {
+	gen := rmat.NewGenerator(9, 3)
+	adj := gen.Adjacency(4000)
+	flat := FromAdjacency(adj)
+	comp := CompressAdjacency(adj)
+	a := algos.BFS(flat, 0, false).Distances()
+	b := algos.BFS(comp, 0, false).Distances()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("BFS mismatch at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	ccA := algos.ConnectedComponents(flat)
+	ccB := algos.ConnectedComponents(comp)
+	for i := range ccA {
+		if ccA[i] != ccB[i] {
+			t.Fatalf("CC mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package ctree implements the C-tree (paper §3–§4): a compressed
+// purely-functional search tree over uint32 elements. A hash function
+// promotes roughly one in B elements to be a head; heads live in a
+// purely-functional weight-balanced tree and every head stores, as its value,
+// the chunk of non-head elements that follow it (its tail). Non-head elements
+// smaller than every head form the prefix. Because head-ness is determined by
+// the element's hash, the same element is a head in every tree that contains
+// it, which keeps the batch algorithms simple and efficient.
+//
+// Chunks are stored contiguously and, for the Delta codec, difference-encoded
+// with byte codes, giving the space usage and locality of compressed static
+// representations while keeping O(log n)-ish purely-functional updates.
+//
+// Three configurations reproduce the paper's three memory formats:
+//
+//   - Params{Plain: true}: every element is a head with an empty tail — an
+//     ordinary purely-functional tree ("Aspen Uncomp.").
+//   - Params{B: b, Codec: encoding.Raw}: chunked, not difference-encoded
+//     ("Aspen (No DE)").
+//   - Params{B: b, Codec: encoding.Delta}: chunked and difference-encoded
+//     ("Aspen (DE)") — the default.
+package ctree
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/encoding"
+	"repro/internal/pftree"
+	"repro/internal/xhash"
+)
+
+// Params fixes the chunking parameter and chunk representation of a C-tree.
+// Trees combined by set operations must share identical Params.
+type Params struct {
+	// B is the expected chunk size: an element e is a head iff
+	// hash(e) mod B == 0. Must be >= 1.
+	B uint32
+	// Codec selects the chunk payload encoding.
+	Codec encoding.Codec
+	// Plain promotes every element to a head, disabling chunking; the
+	// result is an ordinary purely-functional tree.
+	Plain bool
+}
+
+// DefaultB is the chunk size used across the paper's experiments (2^8,
+// chosen in Table 5 as the best memory/parallelism tradeoff).
+const DefaultB = 1 << 8
+
+// DefaultParams returns the paper's default configuration: b = 2^8 with
+// difference encoding.
+func DefaultParams() Params { return Params{B: DefaultB, Codec: encoding.Delta} }
+
+// PlainParams returns the uncompressed purely-functional tree configuration.
+func PlainParams() Params { return Params{B: 1, Plain: true} }
+
+// isHead reports whether e is promoted to a head under p.
+func (p Params) isHead(e uint32) bool {
+	return p.Plain || xhash.Mix32(e)%uint64(p.B) == 0
+}
+
+// hnode is a node of the head tree: key = head element, value = tail chunk,
+// augmented with the total element count (head + tail) of the subtree.
+type hnode = pftree.Node[uint32, encoding.Chunk, uint64]
+
+// hops is the shared node-level operation set for head trees.
+var hops = &pftree.Ops[uint32, encoding.Chunk, uint64]{
+	Cmp: func(a, b uint32) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	},
+	Aug: pftree.Augment[uint32, encoding.Chunk, uint64]{
+		Zero:      0,
+		FromEntry: func(_ uint32, tail encoding.Chunk) uint64 { return 1 + uint64(tail.Count()) },
+		Combine:   func(a, b uint64) uint64 { return a + b },
+	},
+}
+
+// Tree is an immutable C-tree. The zero Tree has unusable Params; construct
+// trees with New or Build. All operations return new trees that share
+// structure with their inputs, so existing snapshots are never disturbed.
+type Tree struct {
+	p      Params
+	prefix encoding.Chunk
+	root   *hnode
+}
+
+// New returns an empty C-tree with the given parameters.
+func New(p Params) Tree {
+	if p.B < 1 {
+		panic("ctree: Params.B must be >= 1")
+	}
+	return Tree{p: p}
+}
+
+// Build constructs a C-tree over elems, which must be strictly increasing.
+// O(n) work given sorted input; O(b log n) depth w.h.p.
+func Build(p Params, elems []uint32) Tree {
+	t := New(p)
+	if len(elems) == 0 {
+		return t
+	}
+	// Locate heads.
+	var headIdx []int
+	for i, e := range elems {
+		if p.isHead(e) {
+			headIdx = append(headIdx, i)
+		}
+	}
+	if len(headIdx) == 0 {
+		t.prefix = encoding.Encode(p.Codec, elems)
+		return t
+	}
+	t.prefix = encoding.Encode(p.Codec, elems[:headIdx[0]])
+	entries := make([]pftree.Entry[uint32, encoding.Chunk], len(headIdx))
+	for j, hi := range headIdx {
+		end := len(elems)
+		if j+1 < len(headIdx) {
+			end = headIdx[j+1]
+		}
+		entries[j] = pftree.Entry[uint32, encoding.Chunk]{
+			Key: elems[hi],
+			Val: encoding.Encode(p.Codec, elems[hi+1:end]),
+		}
+	}
+	t.root = hops.BuildSorted(entries)
+	return t
+}
+
+// Params returns the tree's parameters.
+func (t Tree) Params() Params { return t.p }
+
+// Size returns the number of elements, in O(1) via augmentation.
+func (t Tree) Size() uint64 {
+	return uint64(t.prefix.Count()) + hops.AugOf(t.root)
+}
+
+// Empty reports whether the tree holds no elements.
+func (t Tree) Empty() bool { return t.root == nil && t.prefix.Empty() }
+
+// Contains reports whether e is in the tree. O(log n + b) expected work.
+func (t Tree) Contains(e uint32) bool {
+	if t.prefix.Contains(t.p.Codec, e) {
+		return true
+	}
+	n, ok := hops.FindLE(t.root, e)
+	if !ok {
+		return false
+	}
+	if n.Key() == e {
+		return true
+	}
+	return n.Val().Contains(t.p.Codec, e)
+}
+
+// ForEach applies f to every element in increasing order until f returns
+// false.
+func (t Tree) ForEach(f func(e uint32) bool) {
+	stop := false
+	t.prefix.ForEach(t.p.Codec, func(e uint32) bool {
+		if !f(e) {
+			stop = true
+		}
+		return !stop
+	})
+	if stop {
+		return
+	}
+	hops.ForEach(t.root, func(h uint32, tail encoding.Chunk) bool {
+		if !f(h) {
+			return false
+		}
+		ok := true
+		tail.ForEach(t.p.Codec, func(e uint32) bool {
+			if !f(e) {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	})
+}
+
+// ForEachPar applies f to every element with tree-node parallelism; within a
+// chunk elements are delivered sequentially in order, across chunks the
+// order is unspecified. f must be safe for concurrent use.
+func (t Tree) ForEachPar(f func(e uint32)) {
+	t.prefix.ForEach(t.p.Codec, func(e uint32) bool { f(e); return true })
+	hops.ForEachPar(t.root, func(h uint32, tail encoding.Chunk) {
+		f(h)
+		tail.ForEach(t.p.Codec, func(e uint32) bool { f(e); return true })
+	})
+}
+
+// ToSlice returns all elements in increasing order.
+func (t Tree) ToSlice() []uint32 {
+	out := make([]uint32, 0, t.Size())
+	t.ForEach(func(e uint32) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// First returns the smallest element.
+func (t Tree) First() (uint32, bool) {
+	if !t.prefix.Empty() {
+		return t.prefix.First(), true
+	}
+	if n := hops.First(t.root); n != nil {
+		return n.Key(), true
+	}
+	return 0, false
+}
+
+// Stats describes the memory shape of a C-tree for the space experiments.
+type Stats struct {
+	// Nodes is the number of head-tree nodes.
+	Nodes int
+	// ChunkBytes is the total encoded size of all chunks (tails + prefix),
+	// including their 12-byte headers.
+	ChunkBytes int
+	// Elements is the total element count.
+	Elements uint64
+}
+
+// Add accumulates s2 into s.
+func (s *Stats) Add(s2 Stats) {
+	s.Nodes += s2.Nodes
+	s.ChunkBytes += s2.ChunkBytes
+	s.Elements += s2.Elements
+}
+
+// Stats walks the tree and returns its memory shape.
+func (t Tree) Stats() Stats {
+	s := Stats{ChunkBytes: t.prefix.Bytes(), Elements: t.Size()}
+	hops.ForEach(t.root, func(_ uint32, tail encoding.Chunk) bool {
+		s.Nodes++
+		s.ChunkBytes += tail.Bytes()
+		return true
+	})
+	return s
+}
+
+// smallestHead returns the smallest head of n, or math.MaxUint64 when n is
+// nil (so comparisons treat the empty tree as +infinity).
+func smallestHead(n *hnode) uint64 {
+	if n == nil {
+		return math.MaxUint64
+	}
+	return uint64(hops.First(n).Key())
+}
+
+// splitChunkBelow splits c around bound (an exclusive upper key that is
+// either a head value or +infinity). Heads never occur inside chunks, so the
+// middle "found" slot is impossible; it is asserted away.
+func (t Tree) splitChunkBelow(c encoding.Chunk, bound uint64) (lo, hi encoding.Chunk) {
+	if c.Empty() {
+		return nil, nil
+	}
+	if bound > math.MaxUint32 {
+		return c, nil
+	}
+	lo, found, hi := c.Split(t.p.Codec, uint32(bound))
+	if found {
+		panic("ctree: head value found inside a chunk")
+	}
+	return lo, hi
+}
+
+// chunkUnion merges two chunks under the tree's codec.
+func (t Tree) chunkUnion(a, b encoding.Chunk) encoding.Chunk {
+	return encoding.Union(t.p.Codec, a, b)
+}
+
+// wrap assembles a Tree from parts under t's params.
+func (t Tree) wrap(root *hnode, prefix encoding.Chunk) Tree {
+	return Tree{p: t.p, prefix: prefix, root: root}
+}
+
+// samep panics unless u shares t's parameters.
+func (t Tree) samep(u Tree) {
+	if t.p != u.p {
+		panic(fmt.Sprintf("ctree: parameter mismatch: %+v vs %+v", t.p, u.p))
+	}
+}
+
+// EqualRep reports whether t and u share the same representation (root node
+// and prefix storage). Functional updates leave untouched subtrees
+// pointer-identical across versions, so EqualRep lets version-diffing code
+// skip them in O(1) — the structural-sharing dividend of persistence.
+func (t Tree) EqualRep(u Tree) bool {
+	if t.root != u.root || len(t.prefix) != len(u.prefix) {
+		return false
+	}
+	return len(t.prefix) == 0 || &t.prefix[0] == &u.prefix[0]
+}

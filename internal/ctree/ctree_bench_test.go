@@ -1,0 +1,74 @@
+package ctree
+
+import (
+	"testing"
+
+	"repro/internal/xhash"
+)
+
+func benchElems(n int, seed uint64) []uint32 {
+	r := xhash.NewRNG(seed)
+	elems := make([]uint32, 0, n)
+	seen := map[uint32]bool{}
+	for len(elems) < n {
+		v := r.Uint32() % uint32(8*n)
+		if !seen[v] {
+			seen[v] = true
+			elems = append(elems, v)
+		}
+	}
+	sortInPlace(elems)
+	return elems
+}
+
+func sortInPlace(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	elems := benchElems(50_000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(DefaultParams(), elems)
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	elems := benchElems(50_000, 2)
+	t := Build(DefaultParams(), elems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Contains(elems[i%len(elems)])
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	t1 := Build(DefaultParams(), benchElems(50_000, 3))
+	t2 := Build(DefaultParams(), benchElems(50_000, 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t1.Union(t2)
+	}
+}
+
+func BenchmarkMultiInsertSmallBatch(b *testing.B) {
+	t := Build(DefaultParams(), benchElems(100_000, 5))
+	batch := benchElems(1_000, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.MultiInsert(batch)
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	t := Build(DefaultParams(), benchElems(100_000, 7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var count int
+		t.ForEach(func(uint32) bool { count++; return true })
+	}
+}

@@ -1,0 +1,93 @@
+package ctree
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+	"repro/internal/pftree"
+)
+
+// CheckInvariants verifies the structural invariants of the C-tree:
+//
+//  1. the head tree is a valid weight-balanced BST with correct element
+//     counts in its augmentation;
+//  2. every head satisfies the head-hash condition and no chunk element does;
+//  3. elements are globally sorted: prefix < first head, and every tail lies
+//     strictly between its head and the successor head.
+//
+// It is O(n) and intended for tests.
+func (t Tree) CheckInvariants() error {
+	ht := pftree.Wrap(hops, t.root)
+	if err := ht.CheckInvariants(func(a, b uint64) bool { return a == b }); err != nil {
+		return err
+	}
+	if !t.prefix.Empty() {
+		if first := hops.First(t.root); first != nil && t.prefix.Last() >= first.Key() {
+			return fmt.Errorf("ctree: prefix reaches past the first head")
+		}
+	}
+	if err := t.checkChunk(t.prefix, "prefix"); err != nil {
+		return err
+	}
+	var prev int64 = -1
+	var err error
+	t.ForEach(func(e uint32) bool {
+		if int64(e) <= prev {
+			err = fmt.Errorf("ctree: elements out of order at %d (prev %d)", e, prev)
+			return false
+		}
+		prev = int64(e)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	ok := hops.ForEach(t.root, func(h uint32, tail encoding.Chunk) bool {
+		if !t.p.isHead(h) {
+			err = fmt.Errorf("ctree: %d stored as head but does not hash as one", h)
+			return false
+		}
+		if !tail.Empty() && tail.First() <= h {
+			err = fmt.Errorf("ctree: tail of head %d starts at %d", h, tail.First())
+			return false
+		}
+		if e := t.checkChunk(tail, fmt.Sprintf("tail of %d", h)); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	_ = ok
+	if err != nil {
+		return err
+	}
+	// Tail elements must precede the successor head: global order already
+	// checked above via ForEach, which interleaves heads and tails.
+	var count uint64
+	t.ForEach(func(uint32) bool { count++; return true })
+	if count != t.Size() {
+		return fmt.Errorf("ctree: Size() = %d but %d elements enumerated", t.Size(), count)
+	}
+	return nil
+}
+
+// checkChunk verifies no chunk element hashes as a head and the chunk header
+// matches its payload.
+func (t Tree) checkChunk(c encoding.Chunk, what string) error {
+	if c.Empty() {
+		return nil
+	}
+	elems := c.Decode(t.p.Codec, nil)
+	if len(elems) != c.Count() {
+		return fmt.Errorf("ctree: %s count header %d != %d decoded", what, c.Count(), len(elems))
+	}
+	if elems[0] != c.First() || elems[len(elems)-1] != c.Last() {
+		return fmt.Errorf("ctree: %s first/last header mismatch", what)
+	}
+	for _, e := range elems {
+		if t.p.isHead(e) {
+			return fmt.Errorf("ctree: %s contains head-valued element %d", what, e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package ctree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/encoding"
+	"repro/internal/xhash"
+)
+
+// Metamorphic laws over the set algebra: each derives the same set two
+// different ways and demands identical enumerations. These catch subtle
+// boundary-chunk bugs (orphaned tails, prefix misplacement) that point
+// lookups miss.
+
+func mkPair(s1, s2 uint64, p Params) (Tree, Tree) {
+	r1, r2 := xhash.NewRNG(s1), xhash.NewRNG(s2)
+	a := Build(p, sortedUnique(r1, 150+int(s1%100), 1200))
+	b := Build(p, sortedUnique(r2, 150+int(s2%100), 1200))
+	return a, b
+}
+
+func TestLawUnionDifference(t *testing.T) {
+	// (A ∪ B) \ B == A \ B
+	p := Params{B: 8, Codec: encoding.Delta}
+	if err := quick.Check(func(s1, s2 uint64) bool {
+		a, b := mkPair(s1, s2, p)
+		lhs := a.Union(b).Difference(b)
+		rhs := a.Difference(b)
+		return slicesEqual(lhs.ToSlice(), rhs.ToSlice()) &&
+			lhs.CheckInvariants() == nil
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLawIntersectViaDifference(t *testing.T) {
+	// A ∩ B == A \ (A \ B)
+	p := Params{B: 16, Codec: encoding.Delta}
+	if err := quick.Check(func(s1, s2 uint64) bool {
+		a, b := mkPair(s1, s2, p)
+		lhs := a.Intersect(b)
+		rhs := a.Difference(a.Difference(b))
+		return slicesEqual(lhs.ToSlice(), rhs.ToSlice())
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLawUnionDecomposition(t *testing.T) {
+	// A ∪ B == (A \ B) ∪ (A ∩ B) ∪ (B \ A)
+	p := Params{B: 8, Codec: encoding.Delta}
+	if err := quick.Check(func(s1, s2 uint64) bool {
+		a, b := mkPair(s1, s2, p)
+		lhs := a.Union(b)
+		rhs := a.Difference(b).Union(a.Intersect(b)).Union(b.Difference(a))
+		return slicesEqual(lhs.ToSlice(), rhs.ToSlice())
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLawSplitJoinIdentity(t *testing.T) {
+	// Split(A, k) partitions A: left ∪ {k?} ∪ right == A, and rebuilding
+	// via Union restores A exactly.
+	p := Params{B: 4, Codec: encoding.Delta}
+	if err := quick.Check(func(seed uint64, k uint32) bool {
+		r := xhash.NewRNG(seed)
+		elems := sortedUnique(r, 200, 1500)
+		k %= 1600
+		a := Build(p, elems)
+		l, found, rr := a.Split(k)
+		u := l.Union(rr)
+		if found {
+			u = u.Insert(k)
+		}
+		return slicesEqual(u.ToSlice(), elems)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLawMultiInsertIdempotent(t *testing.T) {
+	// Inserting a batch twice equals inserting it once.
+	p := DefaultParams()
+	if err := quick.Check(func(s1, s2 uint64) bool {
+		a, b := mkPair(s1, s2, p)
+		batch := b.ToSlice()
+		once := a.MultiInsert(batch)
+		twice := once.MultiInsert(batch)
+		return slicesEqual(once.ToSlice(), twice.ToSlice())
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLawDeleteAllYieldsEmpty(t *testing.T) {
+	p := Params{B: 8, Codec: encoding.Delta}
+	if err := quick.Check(func(seed uint64) bool {
+		r := xhash.NewRNG(seed)
+		elems := sortedUnique(r, 120, 900)
+		a := Build(p, elems)
+		return a.Difference(a).Empty() && a.MultiDelete(elems).Empty()
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossParamIndependenceOfContent(t *testing.T) {
+	// The same element set must enumerate identically under every
+	// parameterization (chunking is representation, not content).
+	r := xhash.NewRNG(31)
+	elems := sortedUnique(r, 3000, 30_000)
+	want := Build(PlainParams(), elems).ToSlice()
+	for _, p := range testParams {
+		if got := Build(p, elems).ToSlice(); !slicesEqual(got, want) {
+			t.Fatalf("params %+v changed content", p)
+		}
+	}
+}

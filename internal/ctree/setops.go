@@ -1,0 +1,298 @@
+package ctree
+
+import (
+	"math"
+
+	"repro/internal/encoding"
+	"repro/internal/parallel"
+)
+
+// This file implements the C-tree batch algorithms of §4: Split
+// (Algorithm 3), Union (Algorithm 1) with its prefix base case UnionBC
+// (Algorithm 2), and the symmetric Difference and Intersect.
+
+// Split partitions t around k: left receives elements < k, right elements
+// > k, and found reports whether k was present. O(b log n) work w.h.p.
+func (t Tree) Split(k uint32) (left Tree, found bool, right Tree) {
+	l, found, r := t.splitRec(t.root, t.prefix, k)
+	return l, found, r
+}
+
+// splitRec implements Algorithm 3 on a (root, prefix) pair.
+func (t Tree) splitRec(root *hnode, prefix encoding.Chunk, k uint32) (Tree, bool, Tree) {
+	if root == nil && prefix.Empty() {
+		return t.wrap(nil, nil), false, t.wrap(nil, nil)
+	}
+	if !prefix.Empty() {
+		switch {
+		case k < prefix.First():
+			return t.wrap(nil, nil), false, t.wrap(root, prefix)
+		case k <= prefix.Last():
+			pl, found, pr := prefix.Split(t.p.Codec, k)
+			return t.wrap(nil, pl), found, t.wrap(root, pr)
+		default:
+			lt, found, gt := t.splitRec(root, nil, k)
+			// lt.prefix is empty when the input prefix is empty, so
+			// the left side keeps the original prefix.
+			return t.wrap(lt.root, t.chunkUnion(prefix, lt.prefix)), found, gt
+		}
+	}
+	if root == nil {
+		return t.wrap(nil, nil), false, t.wrap(nil, nil)
+	}
+	l, h, v, r := root.Left(), root.Key(), root.Val(), root.Right()
+	switch {
+	case k == h:
+		return t.wrap(l, nil), true, t.wrap(r, v)
+	case k < h:
+		ll, found, lgt := t.splitRec(l, nil, k)
+		return ll, found, t.wrap(hops.Join(lgt.root, h, v, r), lgt.prefix)
+	default: // k > h: k may split h's tail, else recurse right.
+		if !v.Empty() && k <= v.Last() {
+			vl, found, vr := v.Split(t.p.Codec, k)
+			return t.wrap(hops.Join(l, h, vl, nil), nil), found, t.wrap(r, vr)
+		}
+		rl, found, rgt := t.splitRec(r, nil, k)
+		return t.wrap(hops.Join(l, h, v, rl.root), rl.prefix), found, rgt
+	}
+}
+
+// splitGE partitions t into elements < k and elements >= k (k, unlike in
+// Split, is kept on the right). Used by Difference/Intersect to align the
+// other tree against a head boundary.
+func (t Tree) splitGE(k uint64) (Tree, Tree) {
+	if k > math.MaxUint32 {
+		return t, t.wrap(nil, nil)
+	}
+	lo, found, hi := t.Split(uint32(k))
+	if !found {
+		return lo, hi
+	}
+	// Re-attach k on the right. k is a head here only if it hashes as one;
+	// when it does, hi's prefix is exactly k's tail. When it does not, it
+	// must become the first element of hi's prefix.
+	kk := uint32(k)
+	if t.p.isHead(kk) {
+		return lo, t.wrap(hops.Join(nil, kk, hi.prefix, hi.root), nil)
+	}
+	return lo, t.wrap(hi.root, hi.prefix.Insert(t.p.Codec, kk))
+}
+
+// Union returns the set union of t and u. Parallel; O(b^2 k log(n/k + 1))
+// expected work (paper Theorem 10.2).
+func (t Tree) Union(u Tree) Tree {
+	t.samep(u)
+	return t.unionRec(t, u)
+}
+
+func (t Tree) unionRec(a, b Tree) Tree {
+	switch {
+	case a.Empty():
+		return b
+	case b.Empty():
+		return a
+	case a.root == nil:
+		return t.unionBC(a.prefix, b)
+	case b.root == nil:
+		return t.unionBC(b.prefix, a)
+	}
+	// Expose b's root and split a around it (Algorithm 1).
+	l2, k2, v2, r2 := b.root.Left(), b.root.Key(), b.root.Val(), b.root.Right()
+	aLess, _, aGr := a.splitRec(a.root, a.prefix, k2)
+	// Elements of k2's tail that fall past aGr's first head belong to
+	// tails inside aGr; symmetric for aGr's prefix vs r2's first head.
+	vl, vr := t.splitChunkBelow(v2, smallestHead(aGr.root))
+	pl, pr := t.splitChunkBelow(aGr.prefix, smallestHead(r2))
+	tail := t.chunkUnion(vl, pl)
+	var cl, cr Tree
+	t.maybePar(a.root, b.root,
+		func() { cl = t.unionRec(aLess, t.wrap(l2, b.prefix)) },
+		func() { cr = t.unionRec(t.wrap(aGr.root, pr), t.wrap(r2, vr)) },
+	)
+	// cr's prefix is provably empty (every element of pr and vr follows
+	// the first head on the right); merging defensively keeps the
+	// invariant even so.
+	if !cr.prefix.Empty() {
+		tail = t.chunkUnion(tail, cr.prefix)
+	}
+	return t.wrap(hops.Join(cl.root, k2, tail, cr.root), cl.prefix)
+}
+
+// unionBC merges a prefix-only C-tree (chunk p) into c (Algorithm 2).
+func (t Tree) unionBC(p encoding.Chunk, c Tree) Tree {
+	if p.Empty() {
+		return c
+	}
+	if c.root == nil {
+		return t.wrap(nil, t.chunkUnion(p, c.prefix))
+	}
+	pl, pr := t.splitChunkBelow(p, smallestHead(c.root))
+	prefix := t.chunkUnion(pl, c.prefix)
+	root := c.root
+	if !pr.Empty() {
+		// Group pr's elements by the head whose tail they join.
+		elems := pr.Decode(t.p.Codec, nil)
+		for i := 0; i < len(elems); {
+			n, ok := hops.FindLE(root, elems[i])
+			if !ok {
+				panic("ctree: unionBC element precedes every head")
+			}
+			h := n.Key()
+			// Extend the run of elements that share this head.
+			j := i + 1
+			for j < len(elems) {
+				m, _ := hops.FindLE(root, elems[j])
+				if m.Key() != h {
+					break
+				}
+				j++
+			}
+			group := encoding.Encode(t.p.Codec, elems[i:j])
+			tail := t.chunkUnion(n.Val(), group)
+			root = hops.Insert(root, h, tail, nil)
+			i = j
+		}
+	}
+	return t.wrap(root, prefix)
+}
+
+// maybePar runs f and g in parallel when both trees are large enough.
+func (t Tree) maybePar(a, b *hnode, f, g func()) {
+	const par = 1 << 9
+	if parallel.Procs > 1 && a.Size() > par && b.Size() > par {
+		parallel.Do(f, g)
+	} else {
+		f()
+		g()
+	}
+}
+
+// Difference returns the elements of t not present in u. Pointer-identical
+// trees (shared across versions) short-circuit to empty.
+func (t Tree) Difference(u Tree) Tree {
+	t.samep(u)
+	if t.EqualRep(u) {
+		return t.wrap(nil, nil)
+	}
+	return t.diffRec(t, u)
+}
+
+func (t Tree) diffRec(a, b Tree) Tree {
+	switch {
+	case a.Empty() || b.Empty():
+		return a
+	case a.root == nil:
+		// Filter a's prefix by membership in b.
+		elems := a.prefix.Decode(t.p.Codec, nil)
+		kept := elems[:0]
+		for _, e := range elems {
+			if !b.Contains(e) {
+				kept = append(kept, e)
+			}
+		}
+		return t.wrap(nil, encoding.Encode(t.p.Codec, kept))
+	case b.root == nil:
+		// Remove b's few prefix elements one by one.
+		res := a
+		b.prefix.ForEach(t.p.Codec, func(e uint32) bool {
+			res = res.Delete(e)
+			return true
+		})
+		return res
+	}
+	l1, k1, v1, r1 := a.root.Left(), a.root.Key(), a.root.Val(), a.root.Right()
+	bLess, foundK1, bGr := b.splitRec(b.root, b.prefix, k1)
+	bIn, bHi := bGr.splitGE(smallestHead(r1))
+	var cl, cr Tree
+	t.maybePar(a.root, b.root,
+		func() { cl = t.diffRec(t.wrap(l1, a.prefix), bLess) },
+		func() { cr = t.diffRec(t.wrap(r1, nil), bHi) },
+	)
+	// Strip from k1's tail the elements deleted by bIn.
+	v1p := v1
+	if !bIn.Empty() && !v1.Empty() {
+		elems := v1.Decode(t.p.Codec, nil)
+		kept := elems[:0]
+		for _, e := range elems {
+			if !bIn.Contains(e) {
+				kept = append(kept, e)
+			}
+		}
+		v1p = encoding.Encode(t.p.Codec, kept)
+	}
+	mid := t.chunkUnion(v1p, cr.prefix)
+	if !foundK1 {
+		return t.wrap(hops.Join(cl.root, k1, mid, cr.root), cl.prefix)
+	}
+	return t.concat(cl, mid, cr.root)
+}
+
+// Intersect returns the elements common to t and u.
+func (t Tree) Intersect(u Tree) Tree {
+	t.samep(u)
+	return t.interRec(t, u)
+}
+
+func (t Tree) interRec(a, b Tree) Tree {
+	switch {
+	case a.Empty() || b.Empty():
+		return t.wrap(nil, nil)
+	case a.root == nil:
+		elems := a.prefix.Decode(t.p.Codec, nil)
+		kept := elems[:0]
+		for _, e := range elems {
+			if b.Contains(e) {
+				kept = append(kept, e)
+			}
+		}
+		return t.wrap(nil, encoding.Encode(t.p.Codec, kept))
+	case b.root == nil:
+		return t.interRec(t.wrap(nil, b.prefix), a)
+	}
+	l1, k1, v1, r1 := a.root.Left(), a.root.Key(), a.root.Val(), a.root.Right()
+	bLess, foundK1, bGr := b.splitRec(b.root, b.prefix, k1)
+	bIn, bHi := bGr.splitGE(smallestHead(r1))
+	var cl, cr Tree
+	t.maybePar(a.root, b.root,
+		func() { cl = t.interRec(t.wrap(l1, a.prefix), bLess) },
+		func() { cr = t.interRec(t.wrap(r1, nil), bHi) },
+	)
+	var v1p encoding.Chunk
+	if !bIn.Empty() && !v1.Empty() {
+		elems := v1.Decode(t.p.Codec, nil)
+		kept := elems[:0]
+		for _, e := range elems {
+			if bIn.Contains(e) {
+				kept = append(kept, e)
+			}
+		}
+		v1p = encoding.Encode(t.p.Codec, kept)
+	}
+	mid := t.chunkUnion(v1p, cr.prefix)
+	if foundK1 {
+		return t.wrap(hops.Join(cl.root, k1, mid, cr.root), cl.prefix)
+	}
+	return t.concat(cl, mid, cr.root)
+}
+
+// concat glues a left C-tree, a middle chunk (elements between cl's last
+// element and rroot's first head) and a right head tree whose prefix has
+// already been absorbed into mid. It is the C-tree analogue of Join2.
+func (t Tree) concat(cl Tree, mid encoding.Chunk, rroot *hnode) Tree {
+	if cl.root == nil {
+		return t.wrap(rroot, t.chunkUnion(cl.prefix, mid))
+	}
+	root := cl.root
+	if !mid.Empty() {
+		root = t.appendToLastTail(root, mid)
+	}
+	return t.wrap(hops.Join2(root, rroot), cl.prefix)
+}
+
+// appendToLastTail merges c into the tail of the rightmost head of root,
+// copying the right spine (root must be non-nil; all elements of c follow
+// every element of root).
+func (t Tree) appendToLastTail(root *hnode, c encoding.Chunk) *hnode {
+	last := hops.Last(root)
+	return hops.Insert(root, last.Key(), t.chunkUnion(last.Val(), c), nil)
+}

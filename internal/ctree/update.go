@@ -1,0 +1,91 @@
+package ctree
+
+import "repro/internal/parallel"
+
+// Insert returns t with e added. O(log n + b) expected work: inserting a
+// non-head re-encodes one chunk; inserting a head splits the chunk it lands
+// in and copies one root-to-leaf path (the advantage over B-trees shown in
+// the paper's Figure 2).
+func (t Tree) Insert(e uint32) Tree {
+	if t.Contains(e) {
+		return t
+	}
+	if t.p.isHead(e) {
+		// Elements greater than e up to the next head become e's tail;
+		// Split exposes them as the right part's prefix.
+		l, _, r := t.Split(e)
+		return t.wrap(hops.Join(l.root, e, r.prefix, r.root), l.prefix)
+	}
+	// Non-head: e joins the chunk that covers it.
+	n, ok := hops.FindLE(t.root, e)
+	if !ok {
+		return t.wrap(t.root, t.prefix.Insert(t.p.Codec, e))
+	}
+	return t.wrap(hops.Insert(t.root, n.Key(), n.Val().Insert(t.p.Codec, e), nil), t.prefix)
+}
+
+// Delete returns t with e removed (no-op when absent).
+func (t Tree) Delete(e uint32) Tree {
+	if t.p.isHead(e) {
+		l, found, r := t.Split(e)
+		if !found {
+			return t
+		}
+		// e's orphaned tail (r's prefix) re-attaches to the preceding
+		// chunk.
+		return t.concat(l, r.prefix, r.root)
+	}
+	if t.prefix.Contains(t.p.Codec, e) {
+		return t.wrap(t.root, t.prefix.Remove(t.p.Codec, e))
+	}
+	n, ok := hops.FindLE(t.root, e)
+	if !ok || !n.Val().Contains(t.p.Codec, e) {
+		return t
+	}
+	return t.wrap(hops.Insert(t.root, n.Key(), n.Val().Remove(t.p.Codec, e), nil), t.prefix)
+}
+
+// MultiInsert returns t with the strictly increasing elements of batch
+// added. Implemented as Union with a tree built over the batch (paper §4.1).
+func (t Tree) MultiInsert(batch []uint32) Tree {
+	if len(batch) == 0 {
+		return t
+	}
+	return t.Union(Build(t.p, batch))
+}
+
+// MultiDelete returns t without the strictly increasing elements of batch.
+func (t Tree) MultiDelete(batch []uint32) Tree {
+	if len(batch) == 0 {
+		return t
+	}
+	return t.Difference(Build(t.p, batch))
+}
+
+// BuildUnsorted sorts and dedupes elems (destructively) and builds a C-tree.
+func BuildUnsorted(p Params, elems []uint32) Tree {
+	parallel.SortUint32(elems)
+	return Build(p, parallel.DedupSortedUint32(elems))
+}
+
+// Intersection via decode is exported for completeness of the element-level
+// API: IntersectSlice intersects the tree with a sorted slice, returning the
+// common elements. Useful for triangle-style queries on adjacency sets.
+func (t Tree) IntersectSlice(sorted []uint32) []uint32 {
+	var out []uint32
+	i := 0
+	t.ForEach(func(e uint32) bool {
+		for i < len(sorted) && sorted[i] < e {
+			i++
+		}
+		if i >= len(sorted) {
+			return false
+		}
+		if sorted[i] == e {
+			out = append(out, e)
+			i++
+		}
+		return true
+	})
+	return out
+}

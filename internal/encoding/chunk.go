@@ -1,0 +1,355 @@
+// Package encoding implements the compressed chunk format used by C-trees
+// (paper §3.2, "Integer C-trees"). A chunk is a sorted run of uint32 elements
+// stored contiguously. Two codecs are provided:
+//
+//   - Delta: difference encoding — the gaps between consecutive elements are
+//     encoded with a variable-length byte code (the same family of codes
+//     Ligra+ uses). This is the "Aspen (DE)" configuration.
+//   - Raw: elements stored as 4-byte little-endian words, no difference
+//     encoding. This is the "Aspen (No DE)" configuration.
+//
+// Every chunk carries a fixed header with its element count and its first and
+// last elements, so Count/First/Last are O(1). The paper relies on O(1)
+// first/last probes to obtain the O(b log n) Split bound (§4.1, Appendix
+// 10.3: "we store the first and last elements at the head of each chunk").
+package encoding
+
+import "encoding/binary"
+
+// Codec selects the payload representation of a chunk.
+type Codec uint8
+
+const (
+	// Delta stores byte-coded differences between consecutive elements.
+	Delta Codec = iota
+	// Raw stores 4-byte little-endian elements.
+	Raw
+)
+
+// String returns the codec name.
+func (c Codec) String() string {
+	switch c {
+	case Delta:
+		return "delta"
+	case Raw:
+		return "raw"
+	default:
+		return "unknown"
+	}
+}
+
+// headerSize is count(4) + first(4) + last(4) bytes.
+const headerSize = 12
+
+// Chunk is an immutable encoded run of sorted uint32 elements. A nil Chunk is
+// the empty chunk. Chunks are value types; all operations return new chunks.
+type Chunk []byte
+
+// Count returns the number of elements in c in O(1).
+func (c Chunk) Count() int {
+	if len(c) == 0 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint32(c[0:4]))
+}
+
+// Empty reports whether c holds no elements.
+func (c Chunk) Empty() bool { return len(c) == 0 }
+
+// First returns the smallest element in O(1). The chunk must be non-empty.
+func (c Chunk) First() uint32 {
+	return binary.LittleEndian.Uint32(c[4:8])
+}
+
+// Last returns the largest element in O(1). The chunk must be non-empty.
+func (c Chunk) Last() uint32 {
+	return binary.LittleEndian.Uint32(c[8:12])
+}
+
+// Bytes returns the total encoded size of the chunk in bytes, including the
+// header. Used by the memory-accounting experiments (Tables 2, 5, 9).
+func (c Chunk) Bytes() int { return len(c) }
+
+// putUvarint appends x to dst using the standard varint byte code.
+func putUvarint(dst []byte, x uint32) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+// uvarint decodes a varint starting at c[i], returning the value and the next
+// offset.
+func uvarint(c []byte, i int) (uint32, int) {
+	var x uint32
+	var s uint
+	for {
+		b := c[i]
+		i++
+		if b < 0x80 {
+			return x | uint32(b)<<s, i
+		}
+		x |= uint32(b&0x7f) << s
+		s += 7
+	}
+}
+
+// Encode builds a chunk from elems, which must be strictly increasing. The
+// slice is not retained. A nil or empty input yields the empty chunk.
+func Encode(codec Codec, elems []uint32) Chunk {
+	n := len(elems)
+	if n == 0 {
+		return nil
+	}
+	var c []byte
+	switch codec {
+	case Raw:
+		c = make([]byte, headerSize+4*n)
+		for i, e := range elems {
+			binary.LittleEndian.PutUint32(c[headerSize+4*i:], e)
+		}
+	case Delta:
+		c = make([]byte, headerSize, headerSize+n+n/2)
+		prev := elems[0]
+		for _, e := range elems[1:] {
+			c = putUvarint(c, e-prev)
+			prev = e
+		}
+	default:
+		panic("encoding: unknown codec")
+	}
+	binary.LittleEndian.PutUint32(c[0:4], uint32(n))
+	binary.LittleEndian.PutUint32(c[4:8], elems[0])
+	binary.LittleEndian.PutUint32(c[8:12], elems[n-1])
+	return c
+}
+
+// Decode appends the elements of c to dst and returns the extended slice.
+// Decoding is sequential within a chunk; chunks are O(b log n) long w.h.p. so
+// this does not affect the asymptotic depth of tree operations (§3.2).
+func (c Chunk) Decode(codec Codec, dst []uint32) []uint32 {
+	n := c.Count()
+	if n == 0 {
+		return dst
+	}
+	switch codec {
+	case Raw:
+		for i := 0; i < n; i++ {
+			dst = append(dst, binary.LittleEndian.Uint32(c[headerSize+4*i:]))
+		}
+	case Delta:
+		v := c.First()
+		dst = append(dst, v)
+		i := headerSize
+		for k := 1; k < n; k++ {
+			var d uint32
+			d, i = uvarint(c, i)
+			v += d
+			dst = append(dst, v)
+		}
+	default:
+		panic("encoding: unknown codec")
+	}
+	return dst
+}
+
+// ForEach calls f on each element of c in increasing order. If f returns
+// false iteration stops early.
+func (c Chunk) ForEach(codec Codec, f func(x uint32) bool) {
+	n := c.Count()
+	if n == 0 {
+		return
+	}
+	switch codec {
+	case Raw:
+		for i := 0; i < n; i++ {
+			if !f(binary.LittleEndian.Uint32(c[headerSize+4*i:])) {
+				return
+			}
+		}
+	case Delta:
+		v := c.First()
+		if !f(v) {
+			return
+		}
+		i := headerSize
+		for k := 1; k < n; k++ {
+			var d uint32
+			d, i = uvarint(c, i)
+			v += d
+			if !f(v) {
+				return
+			}
+		}
+	default:
+		panic("encoding: unknown codec")
+	}
+}
+
+// Contains reports whether x is an element of c. O(1) rejection via the
+// header bounds, O(chunk) scan otherwise.
+func (c Chunk) Contains(codec Codec, x uint32) bool {
+	if c.Empty() || x < c.First() || x > c.Last() {
+		return false
+	}
+	found := false
+	c.ForEach(codec, func(e uint32) bool {
+		if e >= x {
+			found = e == x
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Split partitions c around k: left receives elements < k, right elements
+// > k, and found reports whether k was present. Cheap boundary cases (k
+// outside [First, Last]) avoid decoding entirely.
+func (c Chunk) Split(codec Codec, k uint32) (left Chunk, found bool, right Chunk) {
+	if c.Empty() {
+		return nil, false, nil
+	}
+	if k < c.First() {
+		return nil, false, c
+	}
+	if k > c.Last() {
+		return c, false, nil
+	}
+	elems := c.Decode(codec, make([]uint32, 0, c.Count()))
+	// Binary search for the first element >= k.
+	lo, hi := 0, len(elems)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if elems[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
+	found = i < len(elems) && elems[i] == k
+	j := i
+	if found {
+		j++
+	}
+	return Encode(codec, elems[:i]), found, Encode(codec, elems[j:])
+}
+
+// Union merges two chunks (duplicates combined) into a new chunk.
+func Union(codec Codec, a, b Chunk) Chunk {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	// Fast path: disjoint ranges concatenate.
+	ae := a.Decode(codec, make([]uint32, 0, a.Count()+b.Count()))
+	be := b.Decode(codec, make([]uint32, 0, b.Count()))
+	out := make([]uint32, 0, len(ae)+len(be))
+	i, j := 0, 0
+	for i < len(ae) && j < len(be) {
+		switch {
+		case ae[i] < be[j]:
+			out = append(out, ae[i])
+			i++
+		case ae[i] > be[j]:
+			out = append(out, be[j])
+			j++
+		default:
+			out = append(out, ae[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, ae[i:]...)
+	out = append(out, be[j:]...)
+	return Encode(codec, out)
+}
+
+// Difference returns the elements of a not present in b.
+func Difference(codec Codec, a, b Chunk) Chunk {
+	if a.Empty() || b.Empty() {
+		return a
+	}
+	if b.Last() < a.First() || b.First() > a.Last() {
+		return a
+	}
+	ae := a.Decode(codec, make([]uint32, 0, a.Count()))
+	be := b.Decode(codec, make([]uint32, 0, b.Count()))
+	out := make([]uint32, 0, len(ae))
+	j := 0
+	for _, x := range ae {
+		for j < len(be) && be[j] < x {
+			j++
+		}
+		if j < len(be) && be[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return Encode(codec, out)
+}
+
+// Intersect returns the elements common to a and b.
+func Intersect(codec Codec, a, b Chunk) Chunk {
+	if a.Empty() || b.Empty() {
+		return nil
+	}
+	if b.Last() < a.First() || b.First() > a.Last() {
+		return nil
+	}
+	ae := a.Decode(codec, make([]uint32, 0, a.Count()))
+	be := b.Decode(codec, make([]uint32, 0, b.Count()))
+	out := make([]uint32, 0, min(len(ae), len(be)))
+	i, j := 0, 0
+	for i < len(ae) && j < len(be) {
+		switch {
+		case ae[i] < be[j]:
+			i++
+		case ae[i] > be[j]:
+			j++
+		default:
+			out = append(out, ae[i])
+			i++
+			j++
+		}
+	}
+	return Encode(codec, out)
+}
+
+// Insert returns a chunk with x added (no-op if already present).
+func (c Chunk) Insert(codec Codec, x uint32) Chunk {
+	if c.Empty() {
+		return Encode(codec, []uint32{x})
+	}
+	elems := c.Decode(codec, make([]uint32, 0, c.Count()+1))
+	for i, e := range elems {
+		if e == x {
+			return c
+		}
+		if e > x {
+			elems = append(elems, 0)
+			copy(elems[i+1:], elems[i:])
+			elems[i] = x
+			return Encode(codec, elems)
+		}
+	}
+	return Encode(codec, append(elems, x))
+}
+
+// Remove returns a chunk with x removed (no-op if absent).
+func (c Chunk) Remove(codec Codec, x uint32) Chunk {
+	if c.Empty() || x < c.First() || x > c.Last() {
+		return c
+	}
+	elems := c.Decode(codec, make([]uint32, 0, c.Count()))
+	for i, e := range elems {
+		if e == x {
+			return Encode(codec, append(elems[:i], elems[i+1:]...))
+		}
+	}
+	return c
+}

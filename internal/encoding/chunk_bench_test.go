@@ -1,0 +1,49 @@
+package encoding
+
+import "testing"
+
+func benchChunk(codec Codec, n int) Chunk {
+	elems := make([]uint32, n)
+	for i := range elems {
+		elems[i] = uint32(3*i + i%5)
+	}
+	return Encode(codec, elems)
+}
+
+func BenchmarkEncodeDelta(b *testing.B) {
+	elems := make([]uint32, 256)
+	for i := range elems {
+		elems[i] = uint32(3 * i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(Delta, elems)
+	}
+}
+
+func BenchmarkDecodeDelta(b *testing.B) {
+	c := benchChunk(Delta, 256)
+	buf := make([]uint32, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.Decode(Delta, buf[:0])
+	}
+}
+
+func BenchmarkDecodeRaw(b *testing.B) {
+	c := benchChunk(Raw, 256)
+	buf := make([]uint32, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = c.Decode(Raw, buf[:0])
+	}
+}
+
+func BenchmarkChunkUnion(b *testing.B) {
+	a := benchChunk(Delta, 256)
+	c := benchChunk(Delta, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Union(Delta, a, c)
+	}
+}

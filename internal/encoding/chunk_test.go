@@ -1,0 +1,233 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xhash"
+)
+
+var codecs = []Codec{Delta, Raw}
+
+// randomSorted returns a strictly increasing slice derived from the seed.
+func randomSorted(seed uint64, maxLen int) []uint32 {
+	r := xhash.NewRNG(seed)
+	n := r.Intn(maxLen + 1)
+	seen := make(map[uint32]bool, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		v := r.Uint32() % uint32(4*maxLen+4)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sortU32(out)
+	return out
+}
+
+func sortU32(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+func equal(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, codec := range codecs {
+		if err := quick.Check(func(seed uint64) bool {
+			elems := randomSorted(seed, 200)
+			c := Encode(codec, elems)
+			got := c.Decode(codec, nil)
+			if len(elems) == 0 {
+				return c.Empty() && len(got) == 0
+			}
+			return equal(got, elems) &&
+				c.Count() == len(elems) &&
+				c.First() == elems[0] &&
+				c.Last() == elems[len(elems)-1]
+		}, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+	}
+}
+
+func TestEmptyChunk(t *testing.T) {
+	var c Chunk
+	if !c.Empty() || c.Count() != 0 || c.Bytes() != 0 {
+		t.Fatal("nil chunk should be empty")
+	}
+	for _, codec := range codecs {
+		if got := c.Decode(codec, nil); len(got) != 0 {
+			t.Fatal("decode of empty chunk should be empty")
+		}
+		c.ForEach(codec, func(uint32) bool { t.Fatal("foreach on empty"); return true })
+		if c.Contains(codec, 5) {
+			t.Fatal("empty contains")
+		}
+	}
+	if Encode(Delta, nil) != nil {
+		t.Fatal("Encode(nil) should be nil")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	c := Encode(Delta, []uint32{1, 2, 3, 4, 5})
+	var seen []uint32
+	c.ForEach(Delta, func(x uint32) bool {
+		seen = append(seen, x)
+		return x < 3
+	})
+	if !equal(seen, []uint32{1, 2, 3}) {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestContains(t *testing.T) {
+	for _, codec := range codecs {
+		elems := []uint32{10, 20, 30, 1000, 1_000_000}
+		c := Encode(codec, elems)
+		for _, e := range elems {
+			if !c.Contains(codec, e) {
+				t.Fatalf("codec %v: missing %d", codec, e)
+			}
+		}
+		for _, e := range []uint32{0, 15, 999, 2_000_000} {
+			if c.Contains(codec, e) {
+				t.Fatalf("codec %v: spurious %d", codec, e)
+			}
+		}
+	}
+}
+
+func TestSplitProperty(t *testing.T) {
+	for _, codec := range codecs {
+		if err := quick.Check(func(seed uint64, k uint32) bool {
+			elems := randomSorted(seed, 100)
+			k %= 500
+			c := Encode(codec, elems)
+			l, found, r := c.Split(codec, k)
+			le := l.Decode(codec, nil)
+			re := r.Decode(codec, nil)
+			var wantL, wantR []uint32
+			wantFound := false
+			for _, e := range elems {
+				switch {
+				case e < k:
+					wantL = append(wantL, e)
+				case e > k:
+					wantR = append(wantR, e)
+				default:
+					wantFound = true
+				}
+			}
+			return equal(le, wantL) && equal(re, wantR) && found == wantFound
+		}, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	for _, codec := range codecs {
+		if err := quick.Check(func(s1, s2 uint64) bool {
+			a := Encode(codec, randomSorted(s1, 80))
+			b := Encode(codec, randomSorted(s2, 80))
+			union := Union(codec, a, b).Decode(codec, nil)
+			diff := Difference(codec, a, b).Decode(codec, nil)
+			inter := Intersect(codec, a, b).Decode(codec, nil)
+
+			inA := map[uint32]bool{}
+			for _, x := range a.Decode(codec, nil) {
+				inA[x] = true
+			}
+			inB := map[uint32]bool{}
+			for _, x := range b.Decode(codec, nil) {
+				inB[x] = true
+			}
+			var wantU, wantD, wantI []uint32
+			for x := uint32(0); x < 400; x++ {
+				if inA[x] || inB[x] {
+					wantU = append(wantU, x)
+				}
+				if inA[x] && !inB[x] {
+					wantD = append(wantD, x)
+				}
+				if inA[x] && inB[x] {
+					wantI = append(wantI, x)
+				}
+			}
+			return equal(union, wantU) && equal(diff, wantD) && equal(inter, wantI)
+		}, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+	}
+}
+
+func TestInsertRemove(t *testing.T) {
+	for _, codec := range codecs {
+		c := Encode(codec, []uint32{5, 10})
+		c = c.Insert(codec, 7)
+		c = c.Insert(codec, 1)
+		c = c.Insert(codec, 20)
+		c = c.Insert(codec, 7) // duplicate: no-op
+		if got := c.Decode(codec, nil); !equal(got, []uint32{1, 5, 7, 10, 20}) {
+			t.Fatalf("codec %v: after inserts %v", codec, got)
+		}
+		c = c.Remove(codec, 5)
+		c = c.Remove(codec, 99) // absent: no-op
+		if got := c.Decode(codec, nil); !equal(got, []uint32{1, 7, 10, 20}) {
+			t.Fatalf("codec %v: after removes %v", codec, got)
+		}
+		var empty Chunk
+		if got := empty.Insert(codec, 3).Decode(codec, nil); !equal(got, []uint32{3}) {
+			t.Fatalf("codec %v: insert into empty: %v", codec, got)
+		}
+	}
+}
+
+func TestDeltaSmallerThanRawOnDenseRuns(t *testing.T) {
+	// Dense sorted runs (small gaps) should compress well under Delta.
+	elems := make([]uint32, 1000)
+	for i := range elems {
+		elems[i] = uint32(3 * i)
+	}
+	d := Encode(Delta, elems)
+	r := Encode(Raw, elems)
+	if d.Bytes() >= r.Bytes() {
+		t.Fatalf("delta %d bytes >= raw %d bytes", d.Bytes(), r.Bytes())
+	}
+	// Gaps of 3 fit in one byte each: payload ~= n-1 bytes.
+	if d.Bytes() > 12+len(elems) {
+		t.Fatalf("delta encoding too large: %d bytes", d.Bytes())
+	}
+}
+
+func TestLargeValuesRoundTrip(t *testing.T) {
+	elems := []uint32{0, 1, 1 << 20, 1 << 28, 1<<32 - 2, 1<<32 - 1}
+	for _, codec := range codecs {
+		c := Encode(codec, elems)
+		if got := c.Decode(codec, nil); !equal(got, elems) {
+			t.Fatalf("codec %v: %v", codec, got)
+		}
+	}
+}
+
+func TestCodecString(t *testing.T) {
+	if Delta.String() != "delta" || Raw.String() != "raw" || Codec(9).String() != "unknown" {
+		t.Fatal("codec names wrong")
+	}
+}

@@ -1,0 +1,170 @@
+// Package graphio reads and writes graphs in the Ligra adjacency-graph text
+// format ("AdjacencyGraph" header, n, m, n offsets, m edges), the format the
+// paper's artifacts use, plus a compact binary format for larger graphs.
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteAdjacency writes adj in the Ligra text format.
+func WriteAdjacency(w io.Writer, adj [][]uint32) error {
+	bw := bufio.NewWriter(w)
+	var m uint64
+	for _, nbrs := range adj {
+		m += uint64(len(nbrs))
+	}
+	if _, err := fmt.Fprintf(bw, "AdjacencyGraph\n%d\n%d\n", len(adj), m); err != nil {
+		return err
+	}
+	var off uint64
+	for _, nbrs := range adj {
+		if _, err := fmt.Fprintln(bw, off); err != nil {
+			return err
+		}
+		off += uint64(len(nbrs))
+	}
+	for _, nbrs := range adj {
+		for _, v := range nbrs {
+			if _, err := fmt.Fprintln(bw, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacency parses the Ligra text format.
+func ReadAdjacency(r io.Reader) ([][]uint32, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	next := func() (string, error) {
+		for sc.Scan() {
+			tok := sc.Text()
+			if tok != "" {
+				return tok, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	sc.Split(bufio.ScanWords)
+	head, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if head != "AdjacencyGraph" {
+		return nil, fmt.Errorf("graphio: bad header %q", head)
+	}
+	readInt := func() (uint64, error) {
+		tok, err := next()
+		if err != nil {
+			return 0, err
+		}
+		return strconv.ParseUint(tok, 10, 64)
+	}
+	n, err := readInt()
+	if err != nil {
+		return nil, err
+	}
+	m, err := readInt()
+	if err != nil {
+		return nil, err
+	}
+	offs := make([]uint64, n+1)
+	for i := uint64(0); i < n; i++ {
+		if offs[i], err = readInt(); err != nil {
+			return nil, err
+		}
+	}
+	offs[n] = m
+	edges := make([]uint32, m)
+	for i := uint64(0); i < m; i++ {
+		v, err := readInt()
+		if err != nil {
+			return nil, err
+		}
+		edges[i] = uint32(v)
+	}
+	adj := make([][]uint32, n)
+	for u := uint64(0); u < n; u++ {
+		if offs[u] > offs[u+1] || offs[u+1] > m {
+			return nil, fmt.Errorf("graphio: bad offsets at vertex %d", u)
+		}
+		adj[u] = edges[offs[u]:offs[u+1]]
+	}
+	return adj, nil
+}
+
+// binaryMagic identifies the binary format.
+const binaryMagic = 0x41535047 // "ASPG"
+
+// WriteBinary writes adj in the compact binary format (little-endian:
+// magic, n, m, offsets, edges).
+func WriteBinary(w io.Writer, adj [][]uint32) error {
+	bw := bufio.NewWriter(w)
+	var m uint64
+	for _, nbrs := range adj {
+		m += uint64(len(nbrs))
+	}
+	hdr := []uint64{binaryMagic, uint64(len(adj)), m}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	var off uint64
+	for _, nbrs := range adj {
+		if err := binary.Write(bw, binary.LittleEndian, off); err != nil {
+			return err
+		}
+		off += uint64(len(nbrs))
+	}
+	for _, nbrs := range adj {
+		for _, v := range nbrs {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) ([][]uint32, error) {
+	br := bufio.NewReader(r)
+	var magic, n, m uint64
+	for _, p := range []*uint64{&magic, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graphio: bad magic %#x", magic)
+	}
+	offs := make([]uint64, n+1)
+	for i := uint64(0); i < n; i++ {
+		if err := binary.Read(br, binary.LittleEndian, &offs[i]); err != nil {
+			return nil, err
+		}
+	}
+	offs[n] = m
+	edges := make([]uint32, m)
+	if err := binary.Read(br, binary.LittleEndian, edges); err != nil {
+		return nil, err
+	}
+	adj := make([][]uint32, n)
+	for u := uint64(0); u < n; u++ {
+		if offs[u] > offs[u+1] || offs[u+1] > m {
+			return nil, fmt.Errorf("graphio: bad offsets at vertex %d", u)
+		}
+		adj[u] = edges[offs[u]:offs[u+1]]
+	}
+	return adj, nil
+}

@@ -1,0 +1,85 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rmat"
+)
+
+func adjEqual(a, b [][]uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for u := range a {
+		if len(a[u]) != len(b[u]) {
+			return false
+		}
+		for i := range a[u] {
+			if a[u][i] != b[u][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	adj := rmat.NewGenerator(8, 4).Adjacency(1000)
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, adj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adjEqual(adj, got) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	adj := rmat.NewGenerator(9, 6).Adjacency(3000)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, adj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adjEqual(adj, got) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAdjacency(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacency(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("expected empty graph")
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	if _, err := ReadAdjacency(strings.NewReader("WeightedAdjacencyGraph\n1\n0\n0\n")); err == nil {
+		t.Fatal("expected header error")
+	}
+	if _, err := ReadBinary(strings.NewReader("garbage-bytes")); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	if _, err := ReadAdjacency(strings.NewReader("AdjacencyGraph\n5\n10\n0\n")); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

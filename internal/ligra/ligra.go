@@ -1,0 +1,281 @@
+// Package ligra implements the Ligra processing interface the paper extends
+// (§2, §5.1): vertexSubsets, vertexMap and a direction-optimizing edgeMap.
+// The primitives are written against a minimal Graph interface so the exact
+// same algorithm code runs over Aspen snapshots, Aspen flat snapshots and
+// every baseline engine in this repository — mirroring how the paper runs
+// one algorithm suite over multiple systems.
+//
+// Graphs are treated as symmetric (the paper symmetrizes all inputs), so a
+// vertex's neighbor list serves as both its out- and in-edges.
+package ligra
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// Graph is the minimal traversal interface. Order is the size of the
+// vertex-id space (max id + 1); algorithm state arrays are indexed by id.
+type Graph interface {
+	Order() int
+	NumEdges() uint64
+	Degree(u uint32) int
+	// ForEachNeighbor applies f to u's neighbors until f returns false.
+	ForEachNeighbor(u uint32, f func(v uint32) bool)
+}
+
+// ParallelNeighborGraph is an optional capability: engines whose adjacency
+// structure supports intra-vertex parallelism (Aspen's edge trees) implement
+// it and EdgeMap fans out over high-degree vertices. Linked-list engines
+// like Stinger structurally cannot (paper §7.5), which is one source of
+// Aspen's traversal advantage on skewed graphs.
+type ParallelNeighborGraph interface {
+	Graph
+	// ForEachNeighborPar applies f to every neighbor of u, possibly in
+	// parallel; f must be safe for concurrent use.
+	ForEachNeighborPar(u uint32, f func(v uint32))
+}
+
+// parDegreeThreshold is the degree above which sparse EdgeMap uses
+// intra-vertex parallelism when available.
+const parDegreeThreshold = 1 << 12
+
+// VertexSubset is a set of vertex ids with dual sparse/dense representation.
+type VertexSubset struct {
+	n      int
+	sparse []uint32
+	dense  []bool
+	count  int
+	isDen  bool
+}
+
+// FromVertex returns the singleton subset {v} in a universe of size n.
+func FromVertex(n int, v uint32) VertexSubset {
+	return VertexSubset{n: n, sparse: []uint32{v}, count: 1}
+}
+
+// FromSparse wraps a list of distinct vertex ids.
+func FromSparse(n int, ids []uint32) VertexSubset {
+	return VertexSubset{n: n, sparse: ids, count: len(ids)}
+}
+
+// FromDense wraps a dense membership array; count must equal the number of
+// true entries.
+func FromDense(flags []bool, count int) VertexSubset {
+	return VertexSubset{n: len(flags), dense: flags, count: count, isDen: true}
+}
+
+// Empty returns the empty subset in a universe of size n.
+func Empty(n int) VertexSubset { return VertexSubset{n: n} }
+
+// Size returns the number of vertices in the subset.
+func (s VertexSubset) Size() int { return s.count }
+
+// IsEmpty reports whether the subset is empty.
+func (s VertexSubset) IsEmpty() bool { return s.count == 0 }
+
+// Universe returns the universe size n.
+func (s VertexSubset) Universe() int { return s.n }
+
+// IsDense reports the current representation.
+func (s VertexSubset) IsDense() bool { return s.isDen }
+
+// Contains reports membership. O(1) dense, O(|s|) sparse.
+func (s VertexSubset) Contains(v uint32) bool {
+	if s.isDen {
+		return int(v) < len(s.dense) && s.dense[v]
+	}
+	for _, u := range s.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ToSparse returns the subset in sparse form.
+func (s VertexSubset) ToSparse() VertexSubset {
+	if !s.isDen {
+		return s
+	}
+	ids := parallel.PackIndices(s.n, func(i int) bool { return s.dense[i] })
+	return VertexSubset{n: s.n, sparse: ids, count: len(ids)}
+}
+
+// ToDense returns the subset in dense form.
+func (s VertexSubset) ToDense() VertexSubset {
+	if s.isDen {
+		return s
+	}
+	flags := make([]bool, s.n)
+	parallel.For(len(s.sparse), func(i int) { flags[s.sparse[i]] = true })
+	return VertexSubset{n: s.n, dense: flags, count: s.count, isDen: true}
+}
+
+// ForEach applies f to each member (sparse order or id order).
+func (s VertexSubset) ForEach(f func(v uint32)) {
+	if s.isDen {
+		for v, in := range s.dense {
+			if in {
+				f(uint32(v))
+			}
+		}
+		return
+	}
+	for _, v := range s.sparse {
+		f(v)
+	}
+}
+
+// Sparse returns the member ids (converting if needed).
+func (s VertexSubset) Sparse() []uint32 { return s.ToSparse().sparse }
+
+// VertexMap applies f to each member of s in parallel.
+func VertexMap(s VertexSubset, f func(v uint32)) {
+	if s.isDen {
+		parallel.For(s.n, func(i int) {
+			if s.dense[i] {
+				f(uint32(i))
+			}
+		})
+		return
+	}
+	parallel.ForGrain(len(s.sparse), 128, func(i int) { f(s.sparse[i]) })
+}
+
+// VertexFilter returns the members of s satisfying pred.
+func VertexFilter(s VertexSubset, pred func(v uint32) bool) VertexSubset {
+	sp := s.ToSparse()
+	kept := parallel.FilterUint32(sp.sparse, pred)
+	return FromSparse(s.n, kept)
+}
+
+// EdgeMapOpts tunes EdgeMap.
+type EdgeMapOpts struct {
+	// NoDense disables direction optimization (used for the fair
+	// comparisons against systems without it, Table 11).
+	NoDense bool
+	// DenseThresholdDiv is the denominator d of the |U| + deg(U) > m/d
+	// density test; 0 means the Ligra default of 20.
+	DenseThresholdDiv uint64
+}
+
+// EdgeMap applies F over edges (u, v) with u in subset U and C(v) true, and
+// returns the subset of targets v for which F returned true (§2). F must be
+// safe for concurrent calls and, in sparse mode, should claim each target
+// atomically (e.g. with a CAS) if it must fire once per vertex — exactly the
+// Ligra contract. Direction optimization (§5.1) picks a dense, in-neighbor
+// oriented traversal when the frontier is large.
+func EdgeMap(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(v uint32) bool, opts EdgeMapOpts) VertexSubset {
+	if u.IsEmpty() {
+		return Empty(u.n)
+	}
+	div := opts.DenseThresholdDiv
+	if div == 0 {
+		div = 20
+	}
+	if !opts.NoDense {
+		sp := u.ToSparse()
+		outDeg := parallel.ReduceUint64(len(sp.sparse), 0,
+			func(i int) uint64 { return uint64(g.Degree(sp.sparse[i])) },
+			func(a, b uint64) uint64 { return a + b })
+		if uint64(u.Size())+outDeg > g.NumEdges()/div {
+			return edgeMapDense(g, u, f, c)
+		}
+		u = sp
+	}
+	return edgeMapSparse(g, u.ToSparse(), f, c)
+}
+
+// edgeMapSparse maps over the out-edges of the frontier, collecting targets.
+func edgeMapSparse(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(v uint32) bool) VertexSubset {
+	png, hasPar := g.(ParallelNeighborGraph)
+	src := u.sparse
+	nb := parallel.Procs * 4
+	if nb > len(src) {
+		nb = len(src)
+	}
+	if nb == 0 {
+		return Empty(u.n)
+	}
+	buffers := make([][]uint32, nb)
+	sz := (len(src) + nb - 1) / nb
+	parallel.ForGrain(nb, 1, func(b int) {
+		lo, hi := b*sz, (b+1)*sz
+		if hi > len(src) {
+			hi = len(src)
+		}
+		if lo >= hi {
+			return
+		}
+		var buf []uint32
+		for _, s := range src[lo:hi] {
+			if hasPar && g.Degree(s) >= parDegreeThreshold {
+				// High-degree vertex: fan out within its edge tree
+				// and collect targets through a local channel-free
+				// mutex (rare path; the threshold keeps it off the
+				// common case).
+				var mu sync.Mutex
+				png.ForEachNeighborPar(s, func(v uint32) {
+					if c(v) && f(s, v) {
+						mu.Lock()
+						buf = append(buf, v)
+						mu.Unlock()
+					}
+				})
+				continue
+			}
+			g.ForEachNeighbor(s, func(v uint32) bool {
+				if c(v) && f(s, v) {
+					buf = append(buf, v)
+				}
+				return true
+			})
+		}
+		buffers[b] = buf
+	})
+	total := 0
+	for _, b := range buffers {
+		total += len(b)
+	}
+	out := make([]uint32, 0, total)
+	for _, b := range buffers {
+		out = append(out, b...)
+	}
+	return FromSparse(u.n, out)
+}
+
+// edgeMapDense scans all vertices v with C(v) true and pulls from their
+// in-neighbors (== neighbors on symmetric graphs), stopping early once C(v)
+// turns false.
+func edgeMapDense(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(v uint32) bool) VertexSubset {
+	ud := u.ToDense()
+	out := make([]bool, ud.n)
+	var count atomic.Int64
+	parallel.ForGrain(ud.n, 256, func(i int) {
+		v := uint32(i)
+		if !c(v) {
+			return
+		}
+		g.ForEachNeighbor(v, func(s uint32) bool {
+			if ud.dense[s] && f(s, v) {
+				if !out[v] {
+					out[v] = true
+					count.Add(1)
+				}
+			}
+			return c(v)
+		})
+	})
+	return FromDense(out, int(count.Load()))
+}
+
+// EdgeCount sums the degrees of the subset (used by tests and schedulers).
+func EdgeCount(g Graph, u VertexSubset) uint64 {
+	sp := u.ToSparse()
+	return parallel.ReduceUint64(len(sp.sparse), 0,
+		func(i int) uint64 { return uint64(g.Degree(sp.sparse[i])) },
+		func(a, b uint64) uint64 { return a + b })
+}

@@ -1,0 +1,70 @@
+package ligra
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// parSliceGraph augments sliceGraph with intra-vertex parallelism, modelling
+// the Aspen capability.
+type parSliceGraph struct{ sliceGraph }
+
+func (g parSliceGraph) ForEachNeighborPar(u uint32, f func(v uint32)) {
+	var wg sync.WaitGroup
+	nbrs := g.sliceGraph[u]
+	half := len(nbrs) / 2
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, v := range nbrs[:half] {
+			f(v)
+		}
+	}()
+	for _, v := range nbrs[half:] {
+		f(v)
+	}
+	wg.Wait()
+}
+
+func TestEdgeMapUsesIntraVertexParallelism(t *testing.T) {
+	// One hub with degree above the threshold: the sparse path must take
+	// the ForEachNeighborPar branch and still produce an exact frontier.
+	const deg = parDegreeThreshold + 100
+	g := make(sliceGraph, deg+1)
+	hub := uint32(deg)
+	for v := uint32(0); v < deg; v++ {
+		g[deg] = append(g[deg], v)
+		g[v] = []uint32{hub}
+	}
+	pg := parSliceGraph{g}
+	visited := make([]int32, deg+1)
+	visited[hub] = 1
+	out := EdgeMap(pg, FromVertex(deg+1, hub),
+		func(u, v uint32) bool { return atomic.CompareAndSwapInt32(&visited[v], 0, 1) },
+		func(v uint32) bool { return atomic.LoadInt32(&visited[v]) == 0 },
+		EdgeMapOpts{NoDense: true})
+	if out.Size() != deg {
+		t.Fatalf("frontier size = %d, want %d", out.Size(), deg)
+	}
+	seen := map[uint32]bool{}
+	for _, v := range out.Sparse() {
+		if seen[v] {
+			t.Fatalf("duplicate %d in frontier", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestLowDegreeAvoidsParPath(t *testing.T) {
+	// Sanity: engines without the capability work identically.
+	visited := make([]int32, 5)
+	visited[0] = 1
+	out := EdgeMap(path5, FromVertex(5, 0),
+		func(u, v uint32) bool { return atomic.CompareAndSwapInt32(&visited[v], 0, 1) },
+		func(v uint32) bool { return atomic.LoadInt32(&visited[v]) == 0 },
+		EdgeMapOpts{NoDense: true})
+	if out.Size() != 1 || !out.Contains(1) {
+		t.Fatal("path BFS step wrong")
+	}
+}

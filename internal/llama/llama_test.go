@@ -1,0 +1,129 @@
+package llama
+
+import (
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/aspen"
+	"repro/internal/xhash"
+)
+
+func neighbors(g *Graph, u uint32) []uint32 {
+	var out []uint32
+	g.ForEachNeighbor(u, func(v uint32) bool { out = append(out, v); return true })
+	return out
+}
+
+func TestBatchesCreateSnapshots(t *testing.T) {
+	g := New(8)
+	if g.NumSnapshots() != 1 {
+		t.Fatal("expected initial snapshot")
+	}
+	g.InsertBatch([]aspen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	g.InsertBatch([]aspen.Edge{{Src: 0, Dst: 2}, {Src: 2, Dst: 0}})
+	if g.NumSnapshots() != 3 {
+		t.Fatalf("snapshots = %d, want 3", g.NumSnapshots())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Vertex 0's adjacency spans two fragments across snapshots.
+	n0 := neighbors(g, 0)
+	if len(n0) != 2 {
+		t.Fatalf("neighbors(0) = %v", n0)
+	}
+}
+
+func TestDeletionHidesOldFragmentOnly(t *testing.T) {
+	g := New(4)
+	g.InsertBatch([]aspen.Edge{{Src: 0, Dst: 1}})
+	g.DeleteBatch([]aspen.Edge{{Src: 0, Dst: 1}})
+	if g.NumEdges() != 0 || len(neighbors(g, 0)) != 0 {
+		t.Fatal("deletion not applied")
+	}
+	// Re-insertion after deletion must be visible again.
+	g.InsertBatch([]aspen.Edge{{Src: 0, Dst: 1}})
+	if g.NumEdges() != 1 || len(neighbors(g, 0)) != 1 {
+		t.Fatalf("re-insert invisible: %v", neighbors(g, 0))
+	}
+}
+
+func TestDuplicateInsertsSkipped(t *testing.T) {
+	g := New(4)
+	g.InsertBatch([]aspen.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 1}})
+	g.InsertBatch([]aspen.Edge{{Src: 0, Dst: 1}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+	if got := neighbors(g, 0); len(got) != 1 {
+		t.Fatalf("neighbors = %v", got)
+	}
+}
+
+func TestModelAgainstReference(t *testing.T) {
+	r := xhash.NewRNG(5)
+	g := New(32)
+	ref := map[uint64]bool{}
+	for round := 0; round < 8; round++ {
+		var ins []aspen.Edge
+		for i := 0; i < 50; i++ {
+			e := aspen.Edge{Src: uint32(r.Intn(32)), Dst: uint32(r.Intn(32))}
+			ins = append(ins, e)
+			ref[uint64(e.Src)<<32|uint64(e.Dst)] = true
+		}
+		g.InsertBatch(ins)
+		var del []aspen.Edge
+		for i := 0; i < 20; i++ {
+			e := aspen.Edge{Src: uint32(r.Intn(32)), Dst: uint32(r.Intn(32))}
+			del = append(del, e)
+			delete(ref, uint64(e.Src)<<32|uint64(e.Dst))
+		}
+		g.DeleteBatch(del)
+	}
+	if int(g.NumEdges()) != len(ref) {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), len(ref))
+	}
+	deg := map[uint32]int{}
+	for k := range ref {
+		u, v := uint32(k>>32), uint32(k)
+		if !g.HasEdge(u, v) {
+			t.Fatalf("missing (%d,%d)", u, v)
+		}
+		deg[u]++
+	}
+	for u := uint32(0); u < 32; u++ {
+		if g.Degree(u) != deg[u] {
+			t.Fatalf("degree(%d) = %d, want %d", u, g.Degree(u), deg[u])
+		}
+		if got := neighbors(g, u); len(got) != deg[u] {
+			t.Fatalf("neighbors(%d) = %v, want %d", u, got, deg[u])
+		}
+	}
+}
+
+func TestFromAdjacencyAndBFS(t *testing.T) {
+	adj := [][]uint32{{1}, {0, 2}, {1, 3}, {2}}
+	g := FromAdjacency(adj)
+	if g.NumEdges() != 6 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	d := algos.BFS(g, 0, true).Distances()
+	want := []int32{0, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist[%d] = %d", i, d[i])
+		}
+	}
+}
+
+func TestMemoryGrowsPerSnapshot(t *testing.T) {
+	g := New(1000)
+	m0 := g.MemoryBytes()
+	g.InsertBatch([]aspen.Edge{{Src: 0, Dst: 1}})
+	m1 := g.MemoryBytes()
+	// Each snapshot costs at least the O(n) vertex table (the LLAMA
+	// memory model the paper describes).
+	if m1-m0 < 1000*12 {
+		t.Fatalf("snapshot cost %d too small for O(n) vertex table", m1-m0)
+	}
+}

@@ -1,0 +1,145 @@
+package pftree
+
+import "fmt"
+
+// Tree is the user-facing handle: an Ops plus a root. Trees are immutable;
+// every method returns a new Tree sharing structure with the receiver.
+type Tree[K, V, A any] struct {
+	ops  *Ops[K, V, A]
+	root *Node[K, V, A]
+}
+
+// New returns an empty tree using the given comparison and augmentation.
+func New[K, V, A any](cmp func(a, b K) int, aug Augment[K, V, A]) Tree[K, V, A] {
+	return Tree[K, V, A]{ops: &Ops[K, V, A]{Cmp: cmp, Aug: aug}}
+}
+
+// Wrap builds a Tree from an Ops and root produced by node-level operations.
+func Wrap[K, V, A any](ops *Ops[K, V, A], root *Node[K, V, A]) Tree[K, V, A] {
+	return Tree[K, V, A]{ops: ops, root: root}
+}
+
+// Ops exposes the node-level operations of the tree.
+func (t Tree[K, V, A]) Ops() *Ops[K, V, A] { return t.ops }
+
+// Root returns the root node (nil for the empty tree).
+func (t Tree[K, V, A]) Root() *Node[K, V, A] { return t.root }
+
+// Size returns the number of entries, in O(1).
+func (t Tree[K, V, A]) Size() int { return t.root.Size() }
+
+// AugVal returns the augmented value of the whole tree in O(1).
+func (t Tree[K, V, A]) AugVal() A { return t.ops.AugOf(t.root) }
+
+// Insert adds (k, v), replacing an existing value.
+func (t Tree[K, V, A]) Insert(k K, v V) Tree[K, V, A] {
+	return Wrap(t.ops, t.ops.Insert(t.root, k, v, nil))
+}
+
+// InsertWith adds (k, v), merging an existing value with combine(old, new).
+func (t Tree[K, V, A]) InsertWith(k K, v V, combine func(old, new V) V) Tree[K, V, A] {
+	return Wrap(t.ops, t.ops.Insert(t.root, k, v, combine))
+}
+
+// Delete removes key k if present.
+func (t Tree[K, V, A]) Delete(k K) Tree[K, V, A] {
+	return Wrap(t.ops, t.ops.Delete(t.root, k))
+}
+
+// Find returns the value at k.
+func (t Tree[K, V, A]) Find(k K) (V, bool) { return t.ops.Find(t.root, k) }
+
+// Union merges t and u (u's values win on collisions when combine is nil).
+func (t Tree[K, V, A]) Union(u Tree[K, V, A], combine func(a, b V) V) Tree[K, V, A] {
+	return Wrap(t.ops, t.ops.Union(t.root, u.root, combine))
+}
+
+// Intersect keeps the keys present in both trees.
+func (t Tree[K, V, A]) Intersect(u Tree[K, V, A], combine func(a, b V) V) Tree[K, V, A] {
+	return Wrap(t.ops, t.ops.Intersect(t.root, u.root, combine))
+}
+
+// Difference removes from t all keys present in u.
+func (t Tree[K, V, A]) Difference(u Tree[K, V, A]) Tree[K, V, A] {
+	return Wrap(t.ops, t.ops.Difference(t.root, u.root))
+}
+
+// Split partitions t around k.
+func (t Tree[K, V, A]) Split(k K) (left Tree[K, V, A], v V, found bool, right Tree[K, V, A]) {
+	l, v, found, r := t.ops.Split(t.root, k)
+	return Wrap(t.ops, l), v, found, Wrap(t.ops, r)
+}
+
+// BuildSorted replaces the contents of t with the sorted entries.
+func (t Tree[K, V, A]) BuildSorted(entries []Entry[K, V]) Tree[K, V, A] {
+	return Wrap(t.ops, t.ops.BuildSorted(entries))
+}
+
+// MultiInsert bulk-inserts sorted, duplicate-free entries.
+func (t Tree[K, V, A]) MultiInsert(entries []Entry[K, V], combine func(old, new V) V) Tree[K, V, A] {
+	return Wrap(t.ops, t.ops.MultiInsert(t.root, entries, combine))
+}
+
+// MultiDelete bulk-removes sorted keys.
+func (t Tree[K, V, A]) MultiDelete(keys []K) Tree[K, V, A] {
+	return Wrap(t.ops, t.ops.MultiDelete(t.root, keys))
+}
+
+// ForEach applies f in key order until it returns false.
+func (t Tree[K, V, A]) ForEach(f func(K, V) bool) { t.ops.ForEach(t.root, f) }
+
+// ForEachPar applies f to all entries in parallel.
+func (t Tree[K, V, A]) ForEachPar(f func(K, V)) { t.ops.ForEachPar(t.root, f) }
+
+// ForEachIndexed applies f(rank, k, v) to all entries in parallel.
+func (t Tree[K, V, A]) ForEachIndexed(f func(int, K, V)) { t.ops.ForEachIndexed(t.root, f) }
+
+// Keys returns all keys in order.
+func (t Tree[K, V, A]) Keys() []K {
+	out := make([]K, 0, t.Size())
+	t.ForEach(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// CheckInvariants verifies the BST ordering, weight-balance, size and
+// augmentation bookkeeping of the whole tree. It is O(n) and meant for tests.
+// The aug check uses eq; pass nil to skip it.
+func (t Tree[K, V, A]) CheckInvariants(eq func(a, b A) bool) error {
+	_, err := t.ops.check(t.root, eq)
+	return err
+}
+
+func (o *Ops[K, V, A]) check(n *Node[K, V, A], eq func(a, b A) bool) (A, error) {
+	if n == nil {
+		return o.Aug.Zero, nil
+	}
+	if n.left != nil && o.Cmp(n.left.key, n.key) >= 0 {
+		return o.Aug.Zero, fmt.Errorf("pftree: order violation at left child")
+	}
+	if n.right != nil && o.Cmp(n.right.key, n.key) <= 0 {
+		return o.Aug.Zero, fmt.Errorf("pftree: order violation at right child")
+	}
+	if !balancedWeights(weight(n.left), weight(n.right)) {
+		return o.Aug.Zero, fmt.Errorf("pftree: balance violation: left weight %d, right weight %d",
+			weight(n.left), weight(n.right))
+	}
+	if got, want := int(n.size), n.left.Size()+n.right.Size()+1; got != want {
+		return o.Aug.Zero, fmt.Errorf("pftree: size %d, want %d", got, want)
+	}
+	la, err := o.check(n.left, eq)
+	if err != nil {
+		return o.Aug.Zero, err
+	}
+	ra, err := o.check(n.right, eq)
+	if err != nil {
+		return o.Aug.Zero, err
+	}
+	aug := o.Aug.Combine(la, o.Aug.Combine(o.Aug.FromEntry(n.key, n.val), ra))
+	if eq != nil && !eq(aug, n.aug) {
+		return o.Aug.Zero, fmt.Errorf("pftree: augmentation mismatch")
+	}
+	return aug, nil
+}

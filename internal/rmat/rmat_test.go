@@ -1,0 +1,122 @@
+package rmat
+
+import (
+	"testing"
+
+	"repro/internal/aspen"
+	"repro/internal/ctree"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g := NewGenerator(12, 99)
+	a := g.Edges(0, 1000)
+	b := g.Edges(0, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	if g.Edge(500) != a[500] {
+		t.Fatal("indexed access disagrees with stream")
+	}
+}
+
+func TestGeneratorRange(t *testing.T) {
+	g := NewGenerator(8, 1)
+	n := uint32(g.NumVertices())
+	for _, e := range g.Edges(0, 5000) {
+		if e.Src >= n || e.Dst >= n {
+			t.Fatalf("edge (%d,%d) out of range %d", e.Src, e.Dst, n)
+		}
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	// rMAT with a=0.5 concentrates mass on low ids: the max degree should
+	// far exceed the average (power-law-ish skew).
+	g := NewGenerator(12, 5)
+	adj := g.Adjacency(40_000)
+	maxDeg, total := 0, 0
+	for _, nbrs := range adj {
+		total += len(nbrs)
+		if len(nbrs) > maxDeg {
+			maxDeg = len(nbrs)
+		}
+	}
+	avg := float64(total) / float64(len(adj))
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("max degree %d not skewed vs average %.1f", maxDeg, avg)
+	}
+}
+
+func TestUniformEdges(t *testing.T) {
+	u := Uniform{N: 100, Seed: 3}
+	edges := u.Edges(0, 2000)
+	counts := make([]int, 100)
+	for _, e := range edges {
+		if e.Src >= 100 || e.Dst >= 100 {
+			t.Fatal("out of range")
+		}
+		counts[e.Src]++
+	}
+	// Roughly uniform: every vertex should appear as a source rarely more
+	// than 5x the mean.
+	for v, c := range counts {
+		if c > 100 {
+			t.Fatalf("vertex %d appears %d times", v, c)
+		}
+	}
+}
+
+func TestBuildAdjacencySymmetric(t *testing.T) {
+	adj := BuildAdjacency(5, []aspen.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 2}, {Src: 0, Dst: 1}})
+	if len(adj[0]) != 1 || adj[0][0] != 1 {
+		t.Fatalf("adj[0] = %v", adj[0])
+	}
+	if len(adj[1]) != 2 {
+		t.Fatalf("adj[1] = %v", adj[1])
+	}
+	if len(adj[2]) != 1 { // self-loop dropped, (1,2) symmetrized
+		t.Fatalf("adj[2] = %v", adj[2])
+	}
+}
+
+func TestSampleUpdateStream(t *testing.T) {
+	gen := NewGenerator(10, 8)
+	adj := gen.Adjacency(20_000)
+	g := aspen.FromAdjacency(ctree.Params{B: 32}, adj)
+	m0 := g.NumEdges()
+	const k = 500
+	g2, stream := SampleUpdateStream(g, k, 7)
+	if len(stream.Ops) != k {
+		t.Fatalf("ops = %d, want %d", len(stream.Ops), k)
+	}
+	nIns, nDel := 0, 0
+	for _, op := range stream.Ops {
+		if op.Delete {
+			nDel++
+		} else {
+			nIns++
+		}
+	}
+	if nIns != k*9/10 || nDel != k-k*9/10 {
+		t.Fatalf("ins=%d del=%d", nIns, nDel)
+	}
+	// The start graph removed the insertion sample.
+	if g2.NumEdges() != m0-uint64(2*nIns) {
+		t.Fatalf("start graph edges = %d, want %d", g2.NumEdges(), m0-uint64(2*nIns))
+	}
+	// Replaying the whole stream returns to the original edge count minus
+	// the deleted 10%.
+	for _, op := range stream.Ops {
+		ue := aspen.MakeUndirected([]aspen.Edge{op.Edge})
+		if op.Delete {
+			g2 = g2.DeleteEdges(ue)
+		} else {
+			g2 = g2.InsertEdges(ue)
+		}
+	}
+	if g2.NumEdges() != m0-uint64(2*nDel) {
+		t.Fatalf("final edges = %d, want %d", g2.NumEdges(), m0-uint64(2*nDel))
+	}
+}

@@ -1,0 +1,170 @@
+// Package worklist provides an asynchronous, worklist-driven execution
+// engine in the style of Galois (Nguyen et al., SOSP 2013), the third static
+// baseline of §7.7. Work items (vertices) are processed by a pool of workers
+// pulling chunks from a shared queue; there is no level synchronization and
+// no direction optimization — the properties responsible for Galois's BFS
+// behaviour in Table 12.
+package worklist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ligra"
+	"repro/internal/parallel"
+)
+
+// chunkSize is the number of vertices a worker claims at once.
+const chunkSize = 64
+
+// Worklist is a concurrent multi-producer multi-consumer chunked FIFO.
+// FIFO ordering keeps label-correcting algorithms close to level order,
+// bounding re-relaxation (Galois's BFS worklists behave similarly).
+type Worklist struct {
+	mu      sync.Mutex
+	chunks  [][]uint32
+	head    int
+	pending atomic.Int64 // items pushed but not yet fully processed
+}
+
+// New returns an empty worklist.
+func New() *Worklist { return &Worklist{} }
+
+// Push adds items to the worklist.
+func (w *Worklist) Push(items []uint32) {
+	if len(items) == 0 {
+		return
+	}
+	w.pending.Add(int64(len(items)))
+	w.mu.Lock()
+	for len(items) > chunkSize {
+		w.chunks = append(w.chunks, items[:chunkSize])
+		items = items[chunkSize:]
+	}
+	w.chunks = append(w.chunks, items)
+	w.mu.Unlock()
+}
+
+// pop removes the oldest chunk, or returns nil when the queue is momentarily
+// empty.
+func (w *Worklist) pop() []uint32 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.head >= len(w.chunks) {
+		return nil
+	}
+	c := w.chunks[w.head]
+	w.chunks[w.head] = nil
+	w.head++
+	if w.head > 1024 && w.head*2 > len(w.chunks) {
+		// Compact the drained prefix.
+		w.chunks = append([][]uint32(nil), w.chunks[w.head:]...)
+		w.head = 0
+	}
+	return c
+}
+
+// Run processes items with fn until the worklist drains. fn may push new
+// work. The engine runs parallel.Procs workers.
+func (w *Worklist) Run(fn func(item uint32, push func([]uint32))) {
+	workers := parallel.Procs
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := w.pop()
+				if c == nil {
+					if w.pending.Load() == 0 {
+						return
+					}
+					// Yield while other workers publish work; raw
+					// spinning starves them on small core counts.
+					runtime.Gosched()
+					continue
+				}
+				for _, item := range c {
+					var local []uint32
+					fn(item, func(items []uint32) {
+						local = append(local, items...)
+					})
+					if len(local) > 0 {
+						w.Push(local)
+					}
+					w.pending.Add(-1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BFSAsync runs an asynchronous label-correcting BFS from src: workers relax
+// edges from the worklist with atomic distance updates, re-queueing improved
+// vertices. This is the classic Galois BFS formulation (synchronous-free, no
+// direction optimization). Returns hop distances (-1 unreached).
+func BFSAsync(g ligra.Graph, src uint32) []int32 {
+	n := g.Order()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = 1<<31 - 1
+	}
+	if int(src) >= n {
+		for i := range dist {
+			dist[i] = -1
+		}
+		return dist
+	}
+	atomic.StoreInt32(&dist[src], 0)
+	wl := New()
+	wl.Push([]uint32{src})
+	wl.Run(func(u uint32, push func([]uint32)) {
+		du := atomic.LoadInt32(&dist[u])
+		var next []uint32
+		g.ForEachNeighbor(u, func(v uint32) bool {
+			for {
+				dv := atomic.LoadInt32(&dist[v])
+				if dv <= du+1 {
+					return true
+				}
+				if atomic.CompareAndSwapInt32(&dist[v], dv, du+1) {
+					next = append(next, v)
+					return true
+				}
+			}
+		})
+		push(next)
+	})
+	for i := range dist {
+		if dist[i] == 1<<31-1 {
+			dist[i] = -1
+		}
+	}
+	return dist
+}
+
+// MISSerial computes a maximal independent set by the sequential greedy
+// algorithm in vertex order. Galois's MIS implementations run orders of
+// magnitude slower than Ligra-style rootset MIS on mesh-free graphs (Table
+// 12); the serial greedy captures that asymmetric baseline.
+func MISSerial(g ligra.Graph) []bool {
+	n := g.Order()
+	in := make([]bool, n)
+	blocked := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if blocked[v] {
+			continue
+		}
+		in[v] = true
+		g.ForEachNeighbor(uint32(v), func(u uint32) bool {
+			blocked[u] = true
+			return true
+		})
+	}
+	return in
+}

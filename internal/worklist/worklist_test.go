@@ -1,0 +1,93 @@
+package worklist
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/algos"
+	"repro/internal/csr"
+	"repro/internal/rmat"
+)
+
+func TestWorklistProcessesAll(t *testing.T) {
+	wl := New()
+	items := make([]uint32, 1000)
+	for i := range items {
+		items[i] = uint32(i)
+	}
+	wl.Push(items)
+	var sum atomic.Int64
+	wl.Run(func(item uint32, push func([]uint32)) {
+		sum.Add(int64(item))
+	})
+	if sum.Load() != 1000*999/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestWorklistDynamicPush(t *testing.T) {
+	wl := New()
+	wl.Push([]uint32{10})
+	var visits atomic.Int64
+	wl.Run(func(item uint32, push func([]uint32)) {
+		visits.Add(1)
+		if item > 0 {
+			push([]uint32{item - 1})
+		}
+	})
+	if visits.Load() != 11 {
+		t.Fatalf("visits = %d, want 11", visits.Load())
+	}
+}
+
+func TestBFSAsyncMatchesSyncBFS(t *testing.T) {
+	gen := rmat.NewGenerator(10, 11)
+	g := csr.FromAdjacency(gen.Adjacency(6000))
+	want := algos.BFS(g, 0, true).Distances()
+	got := BFSAsync(g, 0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBFSAsyncOutOfRange(t *testing.T) {
+	g := csr.FromAdjacency([][]uint32{{1}, {0}})
+	d := BFSAsync(g, 99)
+	for _, v := range d {
+		if v != -1 {
+			t.Fatal("out-of-range source should reach nothing")
+		}
+	}
+}
+
+func TestMISSerialValid(t *testing.T) {
+	gen := rmat.NewGenerator(9, 21)
+	adj := gen.Adjacency(3000)
+	g := csr.FromAdjacency(adj)
+	in := MISSerial(g)
+	for u := range adj {
+		if in[u] {
+			for _, v := range adj[u] {
+				if in[v] {
+					t.Fatalf("adjacent %d,%d in MIS", u, v)
+				}
+			}
+		} else {
+			ok := false
+			for _, v := range adj[u] {
+				if in[v] {
+					ok = true
+					break
+				}
+			}
+			if !ok && len(adj[u]) > 0 {
+				t.Fatalf("vertex %d not maximal", u)
+			}
+			if len(adj[u]) == 0 && !in[u] {
+				t.Fatalf("isolated vertex %d excluded", u)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package xhash provides the fixed uniform hash functions used across the
+// repository. C-trees select chunk heads with a hash drawn from a uniformly
+// random family (paper §3.1); because head-ness must be content determined —
+// the same element must be a head in every tree that contains it — the head
+// hash is a single fixed, high-quality mixing function rather than a seeded
+// one. Seeded variants are provided for generators and randomized algorithms.
+package xhash
+
+// Mix64 is the splitmix64 finalizer: a bijective mixing function on 64-bit
+// integers with full avalanche. It is the h in the paper's head condition
+// h(e) mod b == 0.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Mix32 hashes a 32-bit element to a 64-bit value using Mix64.
+func Mix32(x uint32) uint64 { return Mix64(uint64(x)) }
+
+// Seeded combines a seed with a value, giving an indexed family of hash
+// functions; distinct seeds behave as independent functions in practice.
+func Seeded(seed, x uint64) uint64 { return Mix64(seed ^ Mix64(x)) }
+
+// RNG is a small, fast, deterministic pseudo-random generator (splitmix64
+// stream). It is used by the workload generators and randomized algorithms so
+// every experiment is reproducible without math/rand global state.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64-bit value of the stream.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next value reduced to 32 bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Next() >> 32) }
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xhash: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}

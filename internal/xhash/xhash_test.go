@@ -1,0 +1,108 @@
+package xhash
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Distinct inputs must map to distinct outputs (spot-check a window).
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 1_000_00; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("collision: Mix64(%d) == Mix64(%d) == %#x", i, prev, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	const trials = 4096
+	var totalFlips, totalBits int
+	r := NewRNG(7)
+	for i := 0; i < trials; i++ {
+		x := r.Next()
+		bit := uint(r.Intn(64))
+		d := Mix64(x) ^ Mix64(x^(1<<bit))
+		for d != 0 {
+			totalFlips += int(d & 1)
+			d >>= 1
+		}
+		totalBits += 64
+	}
+	ratio := float64(totalFlips) / float64(totalBits)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("avalanche ratio %f, want ~0.5", ratio)
+	}
+}
+
+func TestHeadSelectionRate(t *testing.T) {
+	// With b = 128 roughly 1/128 of elements should be heads.
+	const b = 128
+	const n = 1 << 20
+	heads := 0
+	for i := uint32(0); i < n; i++ {
+		if Mix32(i)%b == 0 {
+			heads++
+		}
+	}
+	expected := float64(n) / b
+	if math.Abs(float64(heads)-expected) > 0.1*expected {
+		t.Fatalf("head count %d, want within 10%% of %f", heads, expected)
+	}
+}
+
+func TestSeededIndependence(t *testing.T) {
+	// Different seeds should disagree on most inputs.
+	agree := 0
+	for i := uint64(0); i < 1000; i++ {
+		if Seeded(1, i)%2 == Seeded(2, i)%2 {
+			agree++
+		}
+	}
+	if agree < 400 || agree > 600 {
+		t.Fatalf("seeded functions agree on %d/1000 parities, want ~500", agree)
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(5)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
