@@ -14,6 +14,7 @@ import (
 	"repro/internal/csr"
 	"repro/internal/ctree"
 	"repro/internal/encoding"
+	"repro/internal/ligra"
 	"repro/internal/llama"
 	"repro/internal/rmat"
 	"repro/internal/stinger"
@@ -173,6 +174,7 @@ func BenchmarkTable08BatchInsert(b *testing.B) {
 	for _, size := range []int{10, 1_000, 100_000} {
 		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
 			batch := gen.Edges(0, uint64(size))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				g.InsertEdges(batch)
@@ -190,12 +192,51 @@ func BenchmarkFigure05BatchDelete(b *testing.B) {
 		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
 			batch := gen.Edges(0, uint64(size))
 			g := base.InsertEdges(batch)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				g.DeleteEdges(batch)
 			}
 			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
 		})
+	}
+}
+
+// BenchmarkInsertEdges measures the batch-insert hot path (sort → group →
+// build → fused MultiInsert) directly, reporting edges/sec and allocs/op.
+// This is the headline number for the zero-allocation chunk pipeline.
+func BenchmarkInsertEdges(b *testing.B) {
+	g := benchGraph(b, ctree.DefaultParams())
+	gen := rmat.NewGenerator(benchScale, 21)
+	for _, size := range []int{100, 10_000, 1_000_000} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			batch := gen.Edges(0, uint64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.InsertEdges(batch)
+			}
+			b.ReportMetric(float64(size)*float64(b.N)/b.Elapsed().Seconds(), "edges/sec")
+		})
+	}
+}
+
+// BenchmarkEdgeMap measures one EdgeMap relaxation round over a mid-size
+// frontier (the traversal primitive under BFS/BC), reporting allocs/op.
+func BenchmarkEdgeMap(b *testing.B) {
+	g := benchGraph(b, ctree.DefaultParams())
+	n := g.Order()
+	frontier := make([]uint32, 0, n/16)
+	for v := 0; v < n; v += 16 {
+		frontier = append(frontier, uint32(v))
+	}
+	f := func(src, dst uint32) bool { return true }
+	c := func(v uint32) bool { return true }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := ligra.FromSparse(n, frontier)
+		ligra.EdgeMap(g, u, f, c, ligra.EdgeMapOpts{})
 	}
 }
 

@@ -147,33 +147,40 @@ func (g Graph) ForEachVertexPar(f func(u uint32, et ctree.Tree)) {
 }
 
 // sortEdgeBatch encodes, sorts and dedupes a batch of directed edges,
-// returning packed (src<<32 | dst) keys. O(k log k) work.
+// returning packed (src<<32 | dst) keys. The parallel LSD radix sort makes
+// this O(k) work per populated key byte.
 func sortEdgeBatch(edges []Edge) []uint64 {
 	packed := make([]uint64, len(edges))
 	parallel.For(len(edges), func(i int) {
 		packed[i] = uint64(edges[i].Src)<<32 | uint64(edges[i].Dst)
 	})
-	parallel.SortUint64(packed)
+	parallel.RadixSortUint64(packed)
 	return parallel.DedupSortedUint64(packed)
 }
 
 // groupBySource splits the packed sorted batch into per-source runs of
-// destination ids.
+// destination ids. Every run is a subslice of one shared backing array (the
+// low words of packed, materialized once in parallel) — no per-run copies.
 func groupBySource(packed []uint64) (srcs []uint32, dsts [][]uint32) {
-	for i := 0; i < len(packed); {
-		src := uint32(packed[i] >> 32)
-		j := i
-		for j < len(packed) && uint32(packed[j]>>32) == src {
-			j++
-		}
-		run := make([]uint32, j-i)
-		for k := i; k < j; k++ {
-			run[k-i] = uint32(packed[k])
-		}
-		srcs = append(srcs, src)
-		dsts = append(dsts, run)
-		i = j
+	if len(packed) == 0 {
+		return nil, nil
 	}
+	all := make([]uint32, len(packed))
+	parallel.For(len(packed), func(i int) { all[i] = uint32(packed[i]) })
+	starts := parallel.PackIndices(len(packed), func(i int) bool {
+		return i == 0 || packed[i]>>32 != packed[i-1]>>32
+	})
+	srcs = make([]uint32, len(starts))
+	dsts = make([][]uint32, len(starts))
+	parallel.ForGrain(len(starts), 64, func(j int) {
+		lo := int(starts[j])
+		hi := len(packed)
+		if j+1 < len(starts) {
+			hi = int(starts[j+1])
+		}
+		srcs[j] = uint32(packed[lo] >> 32)
+		dsts[j] = all[lo:hi]
+	})
 	return srcs, dsts
 }
 
@@ -181,35 +188,70 @@ func groupBySource(packed []uint64) (srcs []uint32, dsts [][]uint32) {
 // Vertices appearing as sources or destinations are created as needed. This
 // is the paper's batch-update algorithm (§5): sort, group, build per-source
 // edge trees, then MultiInsert into the vertex-tree with a combine function
-// that unions edge trees. O(k log n) work, polylog depth.
+// that unions edge trees. Destination-only endpoints ride along in the same
+// MultiInsert as entries with empty edge trees, so the whole batch is one
+// vertex-tree pass. O(k log n) work, polylog depth.
 func (g Graph) InsertEdges(edges []Edge) Graph {
 	if len(edges) == 0 {
 		return g
 	}
 	packed := sortEdgeBatch(edges)
 	srcs, dsts := groupBySource(packed)
-	entries := make([]pftree.Entry[uint32, ctree.Tree], len(srcs))
-	parallel.ForGrain(len(srcs), 16, func(i int) {
-		entries[i] = pftree.Entry[uint32, ctree.Tree]{Key: srcs[i], Val: ctree.Build(g.p, dsts[i])}
+	// Destination endpoints must exist as vertices so traversals can land
+	// on them. Keep only the ids actually missing from the vertex tree
+	// (checked in parallel against the pre-update tree): in a populated
+	// graph this is usually empty, so the fused MultiInsert below carries
+	// no extra entries. A missing destination that is also a batch source
+	// is created by its source entry; the merge dedupes that case.
+	dstIDs := make([]uint32, len(packed))
+	parallel.For(len(packed), func(i int) { dstIDs[i] = uint32(packed[i]) })
+	parallel.RadixSortUint32(dstIDs)
+	dstIDs = parallel.DedupSortedUint32(dstIDs)
+	missing := make([]bool, len(dstIDs))
+	parallel.ForGrain(len(dstIDs), 64, func(i int) {
+		_, ok := vops.Find(g.vt, dstIDs[i])
+		missing[i] = !ok
+	})
+	w := 0
+	for i, d := range dstIDs {
+		if missing[i] {
+			dstIDs[w] = d
+			w++
+		}
+	}
+	dstIDs = dstIDs[:w]
+	// Merge sources and missing destinations into one sorted entry list:
+	// sources carry their batch edge tree (built below, in parallel),
+	// destination-only ids an empty tree. A single MultiInsert then both
+	// unions the edge batches and creates the missing endpoints.
+	entries := make([]pftree.Entry[uint32, ctree.Tree], 0, len(srcs)+len(dstIDs))
+	runOf := make([]int, 0, len(srcs)+len(dstIDs)) // index into dsts, -1 for dst-only
+	i, j := 0, 0
+	for i < len(srcs) || j < len(dstIDs) {
+		switch {
+		case j >= len(dstIDs) || (i < len(srcs) && srcs[i] < dstIDs[j]):
+			entries = append(entries, pftree.Entry[uint32, ctree.Tree]{Key: srcs[i]})
+			runOf = append(runOf, i)
+			i++
+		case i >= len(srcs) || dstIDs[j] < srcs[i]:
+			entries = append(entries, pftree.Entry[uint32, ctree.Tree]{Key: dstIDs[j], Val: ctree.New(g.p)})
+			runOf = append(runOf, -1)
+			j++
+		default: // same id is both a source and a destination
+			entries = append(entries, pftree.Entry[uint32, ctree.Tree]{Key: srcs[i]})
+			runOf = append(runOf, i)
+			i++
+			j++
+		}
+	}
+	parallel.ForGrain(len(entries), 16, func(k int) {
+		if r := runOf[k]; r >= 0 {
+			entries[k].Val = ctree.Build(g.p, dsts[r])
+		}
 	})
 	root := vops.MultiInsert(g.vt, entries, func(old, new ctree.Tree) ctree.Tree {
 		return old.Union(new)
 	})
-	// Ensure destination endpoints exist as vertices so traversals can
-	// land on them.
-	dstIDs := make([]uint32, len(packed))
-	parallel.For(len(packed), func(i int) { dstIDs[i] = uint32(packed[i]) })
-	parallel.SortUint32(dstIDs)
-	dstIDs = parallel.DedupSortedUint32(dstIDs)
-	missing := make([]pftree.Entry[uint32, ctree.Tree], 0, len(dstIDs))
-	for _, d := range dstIDs {
-		if _, ok := vops.Find(root, d); !ok {
-			missing = append(missing, pftree.Entry[uint32, ctree.Tree]{Key: d, Val: ctree.New(g.p)})
-		}
-	}
-	if len(missing) > 0 {
-		root = vops.MultiInsert(root, missing, func(old, _ ctree.Tree) ctree.Tree { return old })
-	}
 	return Graph{p: g.p, vt: root}
 }
 

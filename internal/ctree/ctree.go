@@ -106,29 +106,34 @@ func Build(p Params, elems []uint32) Tree {
 	if len(elems) == 0 {
 		return t
 	}
-	// Locate heads.
-	var headIdx []int
+	// Single pass: each element is hashed once (isHead costs a multiply and
+	// a divide) and every head's tail segment is encoded in place as soon
+	// as the next head is found. The entry slice is sized to the expected
+	// head count, n/B, so growth is rare.
+	entries := make([]pftree.Entry[uint32, encoding.Chunk], 0, len(elems)/int(p.B)+1)
+	head := -1 // index of the pending head
 	for i, e := range elems {
-		if p.isHead(e) {
-			headIdx = append(headIdx, i)
+		if !p.isHead(e) {
+			continue
 		}
+		if head < 0 {
+			t.prefix = encoding.Encode(p.Codec, elems[:i])
+		} else {
+			entries = append(entries, pftree.Entry[uint32, encoding.Chunk]{
+				Key: elems[head],
+				Val: encoding.Encode(p.Codec, elems[head+1:i]),
+			})
+		}
+		head = i
 	}
-	if len(headIdx) == 0 {
+	if head < 0 {
 		t.prefix = encoding.Encode(p.Codec, elems)
 		return t
 	}
-	t.prefix = encoding.Encode(p.Codec, elems[:headIdx[0]])
-	entries := make([]pftree.Entry[uint32, encoding.Chunk], len(headIdx))
-	for j, hi := range headIdx {
-		end := len(elems)
-		if j+1 < len(headIdx) {
-			end = headIdx[j+1]
-		}
-		entries[j] = pftree.Entry[uint32, encoding.Chunk]{
-			Key: elems[hi],
-			Val: encoding.Encode(p.Codec, elems[hi+1:end]),
-		}
-	}
+	entries = append(entries, pftree.Entry[uint32, encoding.Chunk]{
+		Key: elems[head],
+		Val: encoding.Encode(p.Codec, elems[head+1:]),
+	})
 	t.root = hops.BuildSorted(entries)
 	return t
 }

@@ -31,6 +31,7 @@ func sortInPlace(a []uint32) {
 
 func BenchmarkBuild(b *testing.B) {
 	elems := benchElems(50_000, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Build(DefaultParams(), elems)
@@ -49,6 +50,7 @@ func BenchmarkFind(b *testing.B) {
 func BenchmarkUnion(b *testing.B) {
 	t1 := Build(DefaultParams(), benchElems(50_000, 3))
 	t2 := Build(DefaultParams(), benchElems(50_000, 4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t1.Union(t2)
@@ -58,6 +60,7 @@ func BenchmarkUnion(b *testing.B) {
 func BenchmarkMultiInsertSmallBatch(b *testing.B) {
 	t := Build(DefaultParams(), benchElems(100_000, 5))
 	batch := benchElems(1_000, 6)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.MultiInsert(batch)

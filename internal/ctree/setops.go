@@ -130,8 +130,12 @@ func (t Tree) unionBC(p encoding.Chunk, c Tree) Tree {
 	prefix := t.chunkUnion(pl, c.prefix)
 	root := c.root
 	if !pr.Empty() {
-		// Group pr's elements by the head whose tail they join.
-		elems := pr.Decode(t.p.Codec, nil)
+		// Group pr's elements by the head whose tail they join. The decode
+		// is transient, so it goes through the pooled scratch.
+		scratch := encoding.GetScratch()
+		defer encoding.PutScratch(scratch)
+		elems := pr.Decode(t.p.Codec, *scratch)
+		*scratch = elems // pool keeps any growth
 		for i := 0; i < len(elems); {
 			n, ok := hops.FindLE(root, elems[i])
 			if !ok {
@@ -182,15 +186,17 @@ func (t Tree) diffRec(a, b Tree) Tree {
 	case a.Empty() || b.Empty():
 		return a
 	case a.root == nil:
-		// Filter a's prefix by membership in b.
-		elems := a.prefix.Decode(t.p.Codec, nil)
-		kept := elems[:0]
-		for _, e := range elems {
-			if !b.Contains(e) {
-				kept = append(kept, e)
+		// Filter a's prefix by membership in b, streaming straight from the
+		// encoded form into the result encoding.
+		out := encoding.NewBuilder(t.p.Codec)
+		for it := encoding.NewIter(t.p.Codec, a.prefix); it.Valid(); it.Next() {
+			if !b.Contains(it.Value()) {
+				out.Append(it.Value())
 			}
 		}
-		return t.wrap(nil, encoding.Encode(t.p.Codec, kept))
+		c := out.Chunk()
+		out.Release()
+		return t.wrap(nil, c)
 	case b.root == nil:
 		// Remove b's few prefix elements one by one.
 		res := a
@@ -211,14 +217,14 @@ func (t Tree) diffRec(a, b Tree) Tree {
 	// Strip from k1's tail the elements deleted by bIn.
 	v1p := v1
 	if !bIn.Empty() && !v1.Empty() {
-		elems := v1.Decode(t.p.Codec, nil)
-		kept := elems[:0]
-		for _, e := range elems {
-			if !bIn.Contains(e) {
-				kept = append(kept, e)
+		out := encoding.NewBuilder(t.p.Codec)
+		for it := encoding.NewIter(t.p.Codec, v1); it.Valid(); it.Next() {
+			if !bIn.Contains(it.Value()) {
+				out.Append(it.Value())
 			}
 		}
-		v1p = encoding.Encode(t.p.Codec, kept)
+		v1p = out.Chunk()
+		out.Release()
 	}
 	mid := t.chunkUnion(v1p, cr.prefix)
 	if !foundK1 {
@@ -238,14 +244,15 @@ func (t Tree) interRec(a, b Tree) Tree {
 	case a.Empty() || b.Empty():
 		return t.wrap(nil, nil)
 	case a.root == nil:
-		elems := a.prefix.Decode(t.p.Codec, nil)
-		kept := elems[:0]
-		for _, e := range elems {
-			if b.Contains(e) {
-				kept = append(kept, e)
+		out := encoding.NewBuilder(t.p.Codec)
+		for it := encoding.NewIter(t.p.Codec, a.prefix); it.Valid(); it.Next() {
+			if b.Contains(it.Value()) {
+				out.Append(it.Value())
 			}
 		}
-		return t.wrap(nil, encoding.Encode(t.p.Codec, kept))
+		c := out.Chunk()
+		out.Release()
+		return t.wrap(nil, c)
 	case b.root == nil:
 		return t.interRec(t.wrap(nil, b.prefix), a)
 	}
@@ -259,14 +266,14 @@ func (t Tree) interRec(a, b Tree) Tree {
 	)
 	var v1p encoding.Chunk
 	if !bIn.Empty() && !v1.Empty() {
-		elems := v1.Decode(t.p.Codec, nil)
-		kept := elems[:0]
-		for _, e := range elems {
-			if bIn.Contains(e) {
-				kept = append(kept, e)
+		out := encoding.NewBuilder(t.p.Codec)
+		for it := encoding.NewIter(t.p.Codec, v1); it.Valid(); it.Next() {
+			if bIn.Contains(it.Value()) {
+				out.Append(it.Value())
 			}
 		}
-		v1p = encoding.Encode(t.p.Codec, kept)
+		v1p = out.Chunk()
+		out.Release()
 	}
 	mid := t.chunkUnion(v1p, cr.prefix)
 	if foundK1 {

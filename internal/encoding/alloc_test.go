@@ -1,0 +1,86 @@
+package encoding
+
+import "testing"
+
+// Allocation regression tests for the zero-allocation chunk pipeline. The
+// bounds are deliberately exact where the design guarantees exactness
+// (ForEach, Iter: zero) and small constants where a single result chunk
+// must be allocated (set ops: the output copy, plus at most one pool refill
+// when the GC has emptied the sync.Pool between runs).
+
+func benchChunks(codec Codec) (a, b Chunk) {
+	ae := make([]uint32, 0, 256)
+	be := make([]uint32, 0, 256)
+	for i := uint32(0); i < 256; i++ {
+		ae = append(ae, 3*i)
+		be = append(be, 3*i+1)
+	}
+	return Encode(codec, ae), Encode(codec, be)
+}
+
+func TestForEachAllocFree(t *testing.T) {
+	for _, codec := range codecs {
+		c, _ := benchChunks(codec)
+		var sum uint32
+		f := func(x uint32) bool { sum += x; return true }
+		if n := testing.AllocsPerRun(100, func() {
+			c.ForEach(codec, f)
+		}); n != 0 {
+			t.Errorf("codec %v: ForEach allocated %.1f/op, want 0", codec, n)
+		}
+	}
+}
+
+func TestIterAllocFree(t *testing.T) {
+	for _, codec := range codecs {
+		c, _ := benchChunks(codec)
+		var sum uint32
+		if n := testing.AllocsPerRun(100, func() {
+			for it := NewIter(codec, c); it.Valid(); it.Next() {
+				sum += it.Value()
+			}
+		}); n != 0 {
+			t.Errorf("codec %v: Iter allocated %.1f/op, want 0", codec, n)
+		}
+	}
+}
+
+func TestUnionAllocBound(t *testing.T) {
+	for _, codec := range codecs {
+		a, b := benchChunks(codec)
+		Union(codec, a, b) // warm the builder pool
+		if n := testing.AllocsPerRun(100, func() {
+			Union(codec, a, b)
+		}); n > 2 {
+			t.Errorf("codec %v: Union allocated %.1f/op, want <= 2", codec, n)
+		}
+	}
+}
+
+func TestUnionDisjointAllocBound(t *testing.T) {
+	for _, codec := range codecs {
+		a, _ := benchChunks(codec)
+		be := make([]uint32, 256)
+		for i := range be {
+			be[i] = 100_000 + uint32(i)
+		}
+		b := Encode(codec, be)
+		if n := testing.AllocsPerRun(100, func() {
+			Union(codec, a, b)
+		}); n > 1 {
+			t.Errorf("codec %v: disjoint Union allocated %.1f/op, want <= 1", codec, n)
+		}
+	}
+}
+
+func TestDifferenceAllocBound(t *testing.T) {
+	for _, codec := range codecs {
+		a, b := benchChunks(codec)
+		Difference(codec, a, b) // warm the builder pool
+		if n := testing.AllocsPerRun(100, func() {
+			Difference(codec, a, b)
+		}); n > 2 {
+			t.Errorf("codec %v: Difference allocated %.1f/op, want <= 2", codec, n)
+		}
+	}
+}

@@ -206,7 +206,9 @@ func (c Chunk) Contains(codec Codec, x uint32) bool {
 
 // Split partitions c around k: left receives elements < k, right elements
 // > k, and found reports whether k was present. Cheap boundary cases (k
-// outside [First, Last]) avoid decoding entirely.
+// outside [First, Last]) avoid decoding entirely. Raw chunks binary-search
+// the payload in place and splice bytes; Delta chunks stream once through
+// the gap code. Neither path materializes a []uint32.
 func (c Chunk) Split(codec Codec, k uint32) (left Chunk, found bool, right Chunk) {
 	if c.Empty() {
 		return nil, false, nil
@@ -217,27 +219,102 @@ func (c Chunk) Split(codec Codec, k uint32) (left Chunk, found bool, right Chunk
 	if k > c.Last() {
 		return c, false, nil
 	}
-	elems := c.Decode(codec, make([]uint32, 0, c.Count()))
-	// Binary search for the first element >= k.
-	lo, hi := 0, len(elems)
+	if codec == Raw {
+		return c.splitRaw(k)
+	}
+	return c.splitDelta(k)
+}
+
+// splitDelta splits a Delta chunk around k (which is within header bounds)
+// with a single forward scan and two byte copies — no re-encoding. The left
+// half's payload is a byte-prefix of c's payload (gaps between the kept
+// elements are unchanged) and the right half's payload is a byte-suffix
+// (ditto), so only the 12-byte headers need rewriting.
+func (c Chunk) splitDelta(k uint32) (left Chunk, found bool, right Chunk) {
+	n := c.Count()
+	v := c.First()
+	off := headerSize // offset of the gap following v
+	i := 0            // index of v
+	gapStart := headerSize
+	var pv uint32 // elems[i-1], valid once i > 0
+	for v < k {
+		// k <= Last() guarantees another element exists.
+		pv = v
+		gapStart = off
+		d, noff := uvarint(c, off)
+		v += d
+		off = noff
+		i++
+	}
+	// v == elems[i] is the first element >= k; gapStart is where its gap
+	// varint begins.
+	if i > 0 {
+		left = make(Chunk, gapStart)
+		copy(left, c[:gapStart])
+		binary.LittleEndian.PutUint32(left[0:4], uint32(i))
+		binary.LittleEndian.PutUint32(left[8:12], pv)
+	}
+	if v == k {
+		found = true
+		if i+1 < n {
+			d, noff := uvarint(c, off)
+			right = make(Chunk, headerSize+len(c)-noff)
+			copy(right[headerSize:], c[noff:])
+			binary.LittleEndian.PutUint32(right[0:4], uint32(n-i-1))
+			binary.LittleEndian.PutUint32(right[4:8], v+d)
+			binary.LittleEndian.PutUint32(right[8:12], c.Last())
+		}
+		return left, true, right
+	}
+	right = make(Chunk, headerSize+len(c)-off)
+	copy(right[headerSize:], c[off:])
+	binary.LittleEndian.PutUint32(right[0:4], uint32(n-i))
+	binary.LittleEndian.PutUint32(right[4:8], v)
+	binary.LittleEndian.PutUint32(right[8:12], c.Last())
+	return left, false, right
+}
+
+// splitRaw splits a Raw chunk around k (which is within header bounds) by
+// binary search over the fixed-width payload, copying each half byte-wise.
+func (c Chunk) splitRaw(k uint32) (left Chunk, found bool, right Chunk) {
+	n := c.Count()
+	word := func(i int) uint32 { return binary.LittleEndian.Uint32(c[headerSize+4*i:]) }
+	// First index with element >= k.
+	lo, hi := 0, n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if elems[mid] < k {
+		if word(mid) < k {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
 	i := lo
-	found = i < len(elems) && elems[i] == k
+	found = i < n && word(i) == k
 	j := i
 	if found {
 		j++
 	}
-	return Encode(codec, elems[:i]), found, Encode(codec, elems[j:])
+	if i > 0 {
+		left = make(Chunk, headerSize+4*i)
+		copy(left[headerSize:], c[headerSize+0:headerSize+4*i])
+		binary.LittleEndian.PutUint32(left[0:4], uint32(i))
+		binary.LittleEndian.PutUint32(left[4:8], c.First())
+		binary.LittleEndian.PutUint32(left[8:12], word(i-1))
+	}
+	if j < n {
+		right = make(Chunk, headerSize+4*(n-j))
+		copy(right[headerSize:], c[headerSize+4*j:])
+		binary.LittleEndian.PutUint32(right[0:4], uint32(n-j))
+		binary.LittleEndian.PutUint32(right[4:8], word(j))
+		binary.LittleEndian.PutUint32(right[8:12], c.Last())
+	}
+	return left, found, right
 }
 
-// Union merges two chunks (duplicates combined) into a new chunk.
+// Union merges two chunks (duplicates combined) into a new chunk via a
+// streaming two-pointer merge: one allocation (the result), no intermediate
+// decode.
 func Union(codec Codec, a, b Chunk) Chunk {
 	if a.Empty() {
 		return b
@@ -245,31 +322,39 @@ func Union(codec Codec, a, b Chunk) Chunk {
 	if b.Empty() {
 		return a
 	}
-	// Fast path: disjoint ranges concatenate.
-	ae := a.Decode(codec, make([]uint32, 0, a.Count()+b.Count()))
-	be := b.Decode(codec, make([]uint32, 0, b.Count()))
-	out := make([]uint32, 0, len(ae)+len(be))
-	i, j := 0, 0
-	for i < len(ae) && j < len(be) {
+	// Fast path: disjoint ranges concatenate payload bytes without decoding
+	// a single element.
+	if a.Last() < b.First() {
+		return concatDisjoint(codec, a, b)
+	}
+	if b.Last() < a.First() {
+		return concatDisjoint(codec, b, a)
+	}
+	ai, bi := NewIter(codec, a), NewIter(codec, b)
+	out := NewBuilder(codec)
+	defer out.Release()
+	for ai.Valid() && bi.Valid() {
+		av, bv := ai.Value(), bi.Value()
 		switch {
-		case ae[i] < be[j]:
-			out = append(out, ae[i])
-			i++
-		case ae[i] > be[j]:
-			out = append(out, be[j])
-			j++
+		case av < bv:
+			out.Append(av)
+			ai.Next()
+		case av > bv:
+			out.Append(bv)
+			bi.Next()
 		default:
-			out = append(out, ae[i])
-			i++
-			j++
+			out.Append(av)
+			ai.Next()
+			bi.Next()
 		}
 	}
-	out = append(out, ae[i:]...)
-	out = append(out, be[j:]...)
-	return Encode(codec, out)
+	ai.AppendRemaining(&out)
+	bi.AppendRemaining(&out)
+	return out.Chunk()
 }
 
-// Difference returns the elements of a not present in b.
+// Difference returns the elements of a not present in b, as a streaming
+// two-pointer merge.
 func Difference(codec Codec, a, b Chunk) Chunk {
 	if a.Empty() || b.Empty() {
 		return a
@@ -277,23 +362,31 @@ func Difference(codec Codec, a, b Chunk) Chunk {
 	if b.Last() < a.First() || b.First() > a.Last() {
 		return a
 	}
-	ae := a.Decode(codec, make([]uint32, 0, a.Count()))
-	be := b.Decode(codec, make([]uint32, 0, b.Count()))
-	out := make([]uint32, 0, len(ae))
-	j := 0
-	for _, x := range ae {
-		for j < len(be) && be[j] < x {
-			j++
+	ai, bi := NewIter(codec, a), NewIter(codec, b)
+	out := NewBuilder(codec)
+	defer out.Release()
+	for ai.Valid() {
+		av := ai.Value()
+		for bi.Valid() && bi.Value() < av {
+			bi.Next()
 		}
-		if j < len(be) && be[j] == x {
+		if !bi.Valid() {
+			// b exhausted: the rest of a survives verbatim.
+			ai.AppendRemaining(&out)
+			break
+		}
+		if bi.Value() == av {
+			ai.Next()
 			continue
 		}
-		out = append(out, x)
+		out.Append(av)
+		ai.Next()
 	}
-	return Encode(codec, out)
+	return out.Chunk()
 }
 
-// Intersect returns the elements common to a and b.
+// Intersect returns the elements common to a and b, as a streaming
+// two-pointer merge.
 func Intersect(codec Codec, a, b Chunk) Chunk {
 	if a.Empty() || b.Empty() {
 		return nil
@@ -301,55 +394,73 @@ func Intersect(codec Codec, a, b Chunk) Chunk {
 	if b.Last() < a.First() || b.First() > a.Last() {
 		return nil
 	}
-	ae := a.Decode(codec, make([]uint32, 0, a.Count()))
-	be := b.Decode(codec, make([]uint32, 0, b.Count()))
-	out := make([]uint32, 0, min(len(ae), len(be)))
-	i, j := 0, 0
-	for i < len(ae) && j < len(be) {
+	ai, bi := NewIter(codec, a), NewIter(codec, b)
+	out := NewBuilder(codec)
+	defer out.Release()
+	for ai.Valid() && bi.Valid() {
+		av, bv := ai.Value(), bi.Value()
 		switch {
-		case ae[i] < be[j]:
-			i++
-		case ae[i] > be[j]:
-			j++
+		case av < bv:
+			ai.Next()
+		case av > bv:
+			bi.Next()
 		default:
-			out = append(out, ae[i])
-			i++
-			j++
+			out.Append(av)
+			ai.Next()
+			bi.Next()
 		}
 	}
-	return Encode(codec, out)
+	return out.Chunk()
 }
 
-// Insert returns a chunk with x added (no-op if already present).
+// Insert returns a chunk with x added (no-op if already present). The new
+// chunk is re-encoded in one streaming pass over pooled scratch.
 func (c Chunk) Insert(codec Codec, x uint32) Chunk {
 	if c.Empty() {
-		return Encode(codec, []uint32{x})
+		out := NewBuilder(codec)
+		defer out.Release()
+		out.Append(x)
+		return out.Chunk()
 	}
-	elems := c.Decode(codec, make([]uint32, 0, c.Count()+1))
-	for i, e := range elems {
-		if e == x {
-			return c
-		}
-		if e > x {
-			elems = append(elems, 0)
-			copy(elems[i+1:], elems[i:])
-			elems[i] = x
-			return Encode(codec, elems)
-		}
+	if c.Contains(codec, x) {
+		return c
 	}
-	return Encode(codec, append(elems, x))
+	if x > c.Last() {
+		// Appending past the end is a disjoint concatenation of c and {x}.
+		one := NewBuilder(codec)
+		defer one.Release()
+		one.Append(x)
+		return concatDisjoint(codec, c, one.Chunk())
+	}
+	out := NewBuilder(codec)
+	defer out.Release()
+	placed := false
+	for it := NewIter(codec, c); it.Valid(); it.Next() {
+		v := it.Value()
+		if !placed && x < v {
+			out.Append(x)
+			placed = true
+		}
+		out.Append(v)
+	}
+	return out.Chunk()
 }
 
-// Remove returns a chunk with x removed (no-op if absent).
+// Remove returns a chunk with x removed (no-op if absent). One streaming
+// pass over pooled scratch.
 func (c Chunk) Remove(codec Codec, x uint32) Chunk {
 	if c.Empty() || x < c.First() || x > c.Last() {
 		return c
 	}
-	elems := c.Decode(codec, make([]uint32, 0, c.Count()))
-	for i, e := range elems {
-		if e == x {
-			return Encode(codec, append(elems[:i], elems[i+1:]...))
+	if !c.Contains(codec, x) {
+		return c
+	}
+	out := NewBuilder(codec)
+	defer out.Release()
+	for it := NewIter(codec, c); it.Valid(); it.Next() {
+		if v := it.Value(); v != x {
+			out.Append(v)
 		}
 	}
-	return c
+	return out.Chunk()
 }

@@ -5,7 +5,9 @@ import "testing"
 func benchChunk(codec Codec, n int) Chunk {
 	elems := make([]uint32, n)
 	for i := range elems {
-		elems[i] = uint32(3*i + i%5)
+		// Strictly increasing with irregular gaps (the old 3*i + i%5
+		// formula was non-monotonic, violating Encode's contract).
+		elems[i] = uint32(4*i + i%3)
 	}
 	return Encode(codec, elems)
 }
@@ -41,9 +43,54 @@ func BenchmarkDecodeRaw(b *testing.B) {
 
 func BenchmarkChunkUnion(b *testing.B) {
 	a := benchChunk(Delta, 256)
-	c := benchChunk(Delta, 256)
+	elems := make([]uint32, 256)
+	for i := range elems {
+		elems[i] = uint32(4*i + 2) // interleaves with benchChunk's elements
+	}
+	c := Encode(Delta, elems)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Union(Delta, a, c)
+	}
+}
+
+func BenchmarkChunkUnionDisjoint(b *testing.B) {
+	a := benchChunk(Delta, 256)
+	elems := make([]uint32, 256)
+	for i := range elems {
+		elems[i] = 100_000 + uint32(4*i)
+	}
+	c := Encode(Delta, elems)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Union(Delta, a, c)
+	}
+}
+
+func BenchmarkChunkDifference(b *testing.B) {
+	a := benchChunk(Delta, 256)
+	c := benchChunk(Delta, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Difference(Delta, a, c)
+	}
+}
+
+func BenchmarkChunkIter(b *testing.B) {
+	for _, codec := range codecs {
+		b.Run(codec.String(), func(b *testing.B) {
+			c := benchChunk(codec, 256)
+			b.ReportAllocs()
+			var sum uint32
+			for i := 0; i < b.N; i++ {
+				for it := NewIter(codec, c); it.Valid(); it.Next() {
+					sum += it.Value()
+				}
+			}
+			_ = sum
+		})
 	}
 }

@@ -1,0 +1,209 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// This file implements the zero-allocation streaming layer of the chunk
+// format: Iter (an allocation-free cursor over an encoded chunk), Builder
+// (an incremental encoder that assembles a chunk from a strictly-increasing
+// element stream without materializing a []uint32), and the sync.Pool-backed
+// scratch buffers shared by the set operations and by the C-tree batch
+// algorithms. Together they let Union/Difference/Intersect/Split run as
+// streaming two-pointer merges: decode one element at a time from each input
+// and append it straight into the output encoding, touching O(1) extra
+// memory beyond the result chunk itself.
+
+// Iter is a streaming cursor over the elements of a chunk. It decodes one
+// element at a time and performs no allocation; Iter values are meant to
+// live on the stack. The zero Iter is exhausted.
+type Iter struct {
+	c   Chunk
+	cur uint32 // current element, valid while rem > 0
+	off int    // byte offset of the next payload item
+	rem int    // elements not yet consumed, including cur
+	raw bool   // codec == Raw
+}
+
+// NewIter returns an iterator positioned on the first element of c.
+func NewIter(codec Codec, c Chunk) Iter {
+	n := c.Count()
+	if n == 0 {
+		return Iter{}
+	}
+	it := Iter{c: c, rem: n, raw: codec == Raw, off: headerSize}
+	switch codec {
+	case Raw:
+		it.cur = binary.LittleEndian.Uint32(c[headerSize:])
+		it.off = headerSize + 4
+	case Delta:
+		it.cur = c.First()
+	default:
+		panic("encoding: unknown codec")
+	}
+	return it
+}
+
+// Valid reports whether the iterator is positioned on an element.
+func (it *Iter) Valid() bool { return it.rem > 0 }
+
+// Value returns the current element. Only valid while Valid() is true.
+func (it *Iter) Value() uint32 { return it.cur }
+
+// Next advances to the next element. Calling Next on the last element
+// exhausts the iterator. The body is kept small enough to inline; the
+// multi-byte varint case (rare for dense neighbor ids) takes the out-of-line
+// slow path.
+func (it *Iter) Next() {
+	it.rem--
+	if it.rem <= 0 {
+		return
+	}
+	if it.raw {
+		it.cur = binary.LittleEndian.Uint32(it.c[it.off:])
+		it.off += 4
+		return
+	}
+	if d := it.c[it.off]; d < 0x80 {
+		it.cur += uint32(d)
+		it.off++
+		return
+	}
+	it.nextSlow()
+}
+
+// nextSlow decodes a multi-byte varint gap.
+func (it *Iter) nextSlow() {
+	d, off := uvarint(it.c, it.off)
+	it.cur += d
+	it.off = off
+}
+
+// Remaining returns the number of elements left, including the current one.
+func (it *Iter) Remaining() int { return it.rem }
+
+// AppendRemaining appends every not-yet-consumed element (including the
+// current one) to b in bulk and exhausts the iterator. Because a chunk
+// suffix is byte-copyable under both codecs (raw words; delta gaps are
+// position-independent), this is a memcpy rather than an element loop — the
+// drain step of the streaming merges.
+func (it *Iter) AppendRemaining(b *Builder) {
+	if it.rem <= 0 {
+		return
+	}
+	v := it.cur
+	if b.n == 0 {
+		b.first = v
+	}
+	if b.raw {
+		*b.buf = binary.LittleEndian.AppendUint32(*b.buf, v)
+	} else if b.n > 0 {
+		*b.buf = putUvarint(*b.buf, v-b.last)
+	}
+	*b.buf = append(*b.buf, it.c[it.off:]...)
+	b.n += it.rem
+	b.last = it.c.Last()
+	it.rem = 0
+}
+
+// bytePool recycles payload scratch for Builder. Pointers are pooled (not
+// slice headers) so Put does not allocate.
+var bytePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// u32Pool recycles element scratch for the operations that still decode
+// (Insert, Remove, and the C-tree grouping paths).
+var u32Pool = sync.Pool{New: func() any { s := make([]uint32, 0, 1024); return &s }}
+
+// GetScratch returns a pooled, zero-length []uint32 for transient decoding.
+// Release it with PutScratch when done; the contents must not be retained.
+func GetScratch() *[]uint32 {
+	s := u32Pool.Get().(*[]uint32)
+	*s = (*s)[:0]
+	return s
+}
+
+// PutScratch returns a scratch slice obtained from GetScratch to the pool.
+func PutScratch(s *[]uint32) { u32Pool.Put(s) }
+
+// Builder incrementally encodes a strictly-increasing element stream into a
+// chunk. Elements are appended directly in encoded form — no intermediate
+// []uint32 — into a pooled scratch buffer; Chunk() copies the finished
+// encoding into an exact-size immutable Chunk (the only allocation the
+// caller pays). Release must be called once the builder is done.
+type Builder struct {
+	buf   *[]byte
+	n     int
+	first uint32
+	last  uint32
+	raw   bool
+}
+
+// NewBuilder returns a builder for the given codec backed by pooled scratch.
+func NewBuilder(codec Codec) Builder {
+	b := bytePool.Get().(*[]byte)
+	var hdr [headerSize]byte
+	*b = append((*b)[:0], hdr[:]...)
+	return Builder{buf: b, raw: codec == Raw}
+}
+
+// Append adds x, which must exceed every element appended so far.
+func (b *Builder) Append(x uint32) {
+	if b.n == 0 {
+		b.first = x
+	}
+	if b.raw {
+		*b.buf = binary.LittleEndian.AppendUint32(*b.buf, x)
+	} else if b.n > 0 {
+		// Delta keeps the first element in the header only; the payload is
+		// the gap stream.
+		*b.buf = putUvarint(*b.buf, x-b.last)
+	}
+	b.last = x
+	b.n++
+}
+
+// Count returns the number of elements appended so far.
+func (b *Builder) Count() int { return b.n }
+
+// Chunk finalizes the encoding and returns it as an immutable Chunk. The
+// builder may continue to be appended to afterwards (the returned chunk is a
+// copy). An empty builder yields the nil chunk.
+func (b *Builder) Chunk() Chunk {
+	if b.n == 0 {
+		return nil
+	}
+	s := *b.buf
+	binary.LittleEndian.PutUint32(s[0:4], uint32(b.n))
+	binary.LittleEndian.PutUint32(s[4:8], b.first)
+	binary.LittleEndian.PutUint32(s[8:12], b.last)
+	out := make(Chunk, len(s))
+	copy(out, s)
+	return out
+}
+
+// Release returns the builder's scratch to the pool. The builder must not be
+// used afterwards.
+func (b *Builder) Release() {
+	if b.buf != nil {
+		bytePool.Put(b.buf)
+		b.buf = nil
+	}
+}
+
+// concatDisjoint concatenates lo and hi, which must both be non-empty with
+// lo.Last() < hi.First(), in O(bytes) with a single allocation and no
+// decoding: the payloads are spliced byte-for-byte (for Delta, one varint
+// bridges the gap between lo's last and hi's first element).
+func concatDisjoint(codec Codec, lo, hi Chunk) Chunk {
+	n := lo.Count() + hi.Count()
+	out := make(Chunk, 0, len(lo)+len(hi))
+	out = append(out, lo...)
+	if codec == Delta {
+		out = putUvarint(out, hi.First()-lo.Last())
+	}
+	out = append(out, hi[headerSize:]...)
+	binary.LittleEndian.PutUint32(out[0:4], uint32(n))
+	binary.LittleEndian.PutUint32(out[8:12], hi.Last())
+	return out
+}

@@ -1,0 +1,280 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// This file validates the streaming set-op layer (iter.go and the
+// two-pointer merges in chunk.go) against straightforward decode-and-merge
+// reference implementations, over both random and adversarial inputs.
+
+// refUnion is the decode-and-merge reference for Union.
+func refUnion(codec Codec, a, b Chunk) []uint32 {
+	ae := a.Decode(codec, nil)
+	be := b.Decode(codec, nil)
+	out := make([]uint32, 0, len(ae)+len(be))
+	i, j := 0, 0
+	for i < len(ae) && j < len(be) {
+		switch {
+		case ae[i] < be[j]:
+			out = append(out, ae[i])
+			i++
+		case ae[i] > be[j]:
+			out = append(out, be[j])
+			j++
+		default:
+			out = append(out, ae[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, ae[i:]...)
+	out = append(out, be[j:]...)
+	return out
+}
+
+// refDifference is the decode-and-merge reference for Difference.
+func refDifference(codec Codec, a, b Chunk) []uint32 {
+	ae := a.Decode(codec, nil)
+	be := b.Decode(codec, nil)
+	out := make([]uint32, 0, len(ae))
+	j := 0
+	for _, x := range ae {
+		for j < len(be) && be[j] < x {
+			j++
+		}
+		if j < len(be) && be[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// refIntersect is the decode-and-merge reference for Intersect.
+func refIntersect(codec Codec, a, b Chunk) []uint32 {
+	ae := a.Decode(codec, nil)
+	be := b.Decode(codec, nil)
+	var out []uint32
+	i, j := 0, 0
+	for i < len(ae) && j < len(be) {
+		switch {
+		case ae[i] < be[j]:
+			i++
+		case ae[i] > be[j]:
+			j++
+		default:
+			out = append(out, ae[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// adversarialPairs enumerates the structured inputs the streaming merges
+// must handle: empty sides, disjoint ranges in both orders (the concat fast
+// path), adjacent ranges, fully interleaved runs, identical sets, subsets,
+// singletons on boundaries, and dense consecutive runs.
+func adversarialPairs() [][2][]uint32 {
+	seq := func(lo, n, step uint32) []uint32 {
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = lo + uint32(i)*step
+		}
+		return out
+	}
+	return [][2][]uint32{
+		{nil, nil},
+		{seq(0, 50, 1), nil},
+		{nil, seq(0, 50, 1)},
+		{seq(0, 100, 1), seq(1000, 100, 1)},    // disjoint, a before b
+		{seq(1000, 100, 1), seq(0, 100, 1)},    // disjoint, b before a
+		{seq(0, 100, 1), seq(100, 100, 1)},     // adjacent ranges
+		{seq(0, 100, 2), seq(1, 100, 2)},       // perfectly interleaved
+		{seq(0, 100, 1), seq(0, 100, 1)},       // identical
+		{seq(0, 100, 1), seq(20, 30, 1)},       // b inside a
+		{seq(20, 30, 1), seq(0, 100, 1)},       // a inside b
+		{{5}, seq(0, 10, 1)},                   // singleton inside
+		{{42}, {42}},                           // equal singletons
+		{{0}, {^uint32(0)}},                    // extreme bounds
+		{seq(0, 300, 3), seq(0, 300, 7)},       // periodic overlap
+		{seq(0, 1000, 1), seq(999, 1000, 1)},   // one-element overlap
+	}
+}
+
+func chunkPairs(t *testing.T, f func(codec Codec, a, b Chunk)) {
+	t.Helper()
+	for _, codec := range codecs {
+		for _, p := range adversarialPairs() {
+			f(codec, Encode(codec, p[0]), Encode(codec, p[1]))
+		}
+		for seed := uint64(0); seed < 200; seed++ {
+			a := Encode(codec, randomSorted(seed, 300))
+			b := Encode(codec, randomSorted(seed+10_000, 300))
+			f(codec, a, b)
+		}
+	}
+}
+
+func TestStreamingUnionMatchesReference(t *testing.T) {
+	chunkPairs(t, func(codec Codec, a, b Chunk) {
+		got := Union(codec, a, b).Decode(codec, nil)
+		want := refUnion(codec, a, b)
+		if !equal(got, want) {
+			t.Fatalf("codec %v: Union mismatch: got %v want %v", codec, got, want)
+		}
+	})
+}
+
+func TestStreamingDifferenceMatchesReference(t *testing.T) {
+	chunkPairs(t, func(codec Codec, a, b Chunk) {
+		got := Difference(codec, a, b).Decode(codec, nil)
+		want := refDifference(codec, a, b)
+		if !equal(got, want) {
+			t.Fatalf("codec %v: Difference mismatch: got %v want %v", codec, got, want)
+		}
+	})
+}
+
+func TestStreamingIntersectMatchesReference(t *testing.T) {
+	chunkPairs(t, func(codec Codec, a, b Chunk) {
+		got := Intersect(codec, a, b).Decode(codec, nil)
+		want := refIntersect(codec, a, b)
+		if !equal(got, want) {
+			t.Fatalf("codec %v: Intersect mismatch: got %v want %v", codec, got, want)
+		}
+	})
+}
+
+// TestStreamingSplitMatchesReference checks Split (both the Raw byte-splice
+// path and the Delta streaming path) against decode + partition, probing
+// every element plus both out-of-range sides.
+func TestStreamingSplitMatchesReference(t *testing.T) {
+	for _, codec := range codecs {
+		for seed := uint64(0); seed < 100; seed++ {
+			elems := randomSorted(seed, 200)
+			c := Encode(codec, elems)
+			probes := append([]uint32{0, ^uint32(0)}, elems...)
+			for _, e := range elems {
+				probes = append(probes, e+1)
+			}
+			for _, k := range probes {
+				l, found, r := c.Split(codec, k)
+				var wl, wr []uint32
+				wf := false
+				for _, e := range elems {
+					switch {
+					case e < k:
+						wl = append(wl, e)
+					case e == k:
+						wf = true
+					default:
+						wr = append(wr, e)
+					}
+				}
+				if found != wf ||
+					!equal(l.Decode(codec, nil), wl) ||
+					!equal(r.Decode(codec, nil), wr) {
+					t.Fatalf("codec %v: Split(%d) mismatch on %v", codec, k, elems)
+				}
+			}
+		}
+	}
+}
+
+// TestUnionDisjointFastPath pins down the header-bounds concatenation path:
+// disjoint inputs must produce byte-identical output to a full re-encode.
+func TestUnionDisjointFastPath(t *testing.T) {
+	for _, codec := range codecs {
+		for seed := uint64(0); seed < 100; seed++ {
+			a := randomSorted(seed, 200)
+			b := randomSorted(seed+500, 200)
+			if len(a) == 0 || len(b) == 0 {
+				continue
+			}
+			// Shift b strictly past a to force disjointness.
+			shift := a[len(a)-1] + 1 + b[0]
+			bs := make([]uint32, len(b))
+			for i := range b {
+				bs[i] = b[i] - b[0] + shift
+			}
+			ca, cb := Encode(codec, a), Encode(codec, bs)
+			got := Union(codec, ca, cb)
+			want := Encode(codec, append(append([]uint32{}, a...), bs...))
+			if len(got) != len(want) {
+				t.Fatalf("codec %v: concat size %d != re-encode size %d", codec, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("codec %v: concat bytes differ at %d", codec, i)
+				}
+			}
+		}
+	}
+}
+
+func TestIterMatchesDecode(t *testing.T) {
+	for _, codec := range codecs {
+		if err := quick.Check(func(seed uint64) bool {
+			elems := randomSorted(seed, 300)
+			c := Encode(codec, elems)
+			var got []uint32
+			for it := NewIter(codec, c); it.Valid(); it.Next() {
+				got = append(got, it.Value())
+			}
+			return equal(got, elems)
+		}, nil); err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+	}
+}
+
+func TestBuilderMatchesEncode(t *testing.T) {
+	for _, codec := range codecs {
+		if err := quick.Check(func(seed uint64) bool {
+			elems := randomSorted(seed, 300)
+			b := NewBuilder(codec)
+			defer b.Release()
+			for _, e := range elems {
+				b.Append(e)
+			}
+			got, want := b.Chunk(), Encode(codec, elems)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}, nil); err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+	}
+}
+
+// FuzzStreamingSetOps cross-checks all three streaming set operations
+// against the references on fuzz-generated element sets.
+func FuzzStreamingSetOps(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(123), uint64(456))
+	f.Fuzz(func(t *testing.T, s1, s2 uint64) {
+		for _, codec := range codecs {
+			a := Encode(codec, randomSorted(s1, 400))
+			b := Encode(codec, randomSorted(s2, 400))
+			if got, want := Union(codec, a, b).Decode(codec, nil), refUnion(codec, a, b); !equal(got, want) {
+				t.Fatalf("Union mismatch")
+			}
+			if got, want := Difference(codec, a, b).Decode(codec, nil), refDifference(codec, a, b); !equal(got, want) {
+				t.Fatalf("Difference mismatch")
+			}
+			if got, want := Intersect(codec, a, b).Decode(codec, nil), refIntersect(codec, a, b); !equal(got, want) {
+				t.Fatalf("Intersect mismatch")
+			}
+		}
+	})
+}

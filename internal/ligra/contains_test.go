@@ -1,0 +1,62 @@
+package ligra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSparseContainsUnsorted exercises the lazily-built sorted index on ids
+// supplied out of order (as EdgeMap produces them) and on zero-value
+// subsets that never went through a constructor.
+func TestSparseContainsUnsorted(t *testing.T) {
+	ids := []uint32{9, 3, 14, 0, 7, 11}
+	s := FromSparse(20, ids)
+	member := map[uint32]bool{}
+	for _, v := range ids {
+		member[v] = true
+	}
+	for v := uint32(0); v < 20; v++ {
+		if s.Contains(v) != member[v] {
+			t.Fatalf("Contains(%d) = %v, want %v", v, s.Contains(v), !member[v])
+		}
+	}
+	// The wrapped slice must not be reordered (callers own it).
+	if ids[0] != 9 || ids[5] != 11 {
+		t.Fatal("Contains mutated the caller's id slice")
+	}
+	// Copies share the same index and agree.
+	cp := s
+	for v := uint32(0); v < 20; v++ {
+		if cp.Contains(v) != member[v] {
+			t.Fatalf("copy Contains(%d) wrong", v)
+		}
+	}
+	var zero VertexSubset
+	if zero.Contains(3) {
+		t.Fatal("zero subset contains 3")
+	}
+}
+
+// TestSparseContainsRandom cross-checks the binary-search index against a
+// map over random subsets.
+func TestSparseContainsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(500)
+		member := map[uint32]bool{}
+		var ids []uint32
+		for len(ids) < n/2 {
+			v := uint32(r.Intn(n))
+			if !member[v] {
+				member[v] = true
+				ids = append(ids, v)
+			}
+		}
+		s := FromSparse(n, ids)
+		for v := uint32(0); v < uint32(n); v++ {
+			if s.Contains(v) != member[v] {
+				t.Fatalf("trial %d: Contains(%d) = %v, want %v", trial, v, s.Contains(v), member[v])
+			}
+		}
+	}
+}

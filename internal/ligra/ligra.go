@@ -10,6 +10,7 @@
 package ligra
 
 import (
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -49,16 +50,26 @@ type VertexSubset struct {
 	dense  []bool
 	count  int
 	isDen  bool
+	// idx lazily caches a sorted copy of sparse for O(log |s|) Contains.
+	// It is a pointer so every value copy of the subset shares one index.
+	idx *sparseIndex
+}
+
+// sparseIndex is the lazily-built sorted membership index of a sparse
+// subset. The build happens at most once (sync.Once) on first Contains.
+type sparseIndex struct {
+	once   sync.Once
+	sorted []uint32
 }
 
 // FromVertex returns the singleton subset {v} in a universe of size n.
 func FromVertex(n int, v uint32) VertexSubset {
-	return VertexSubset{n: n, sparse: []uint32{v}, count: 1}
+	return VertexSubset{n: n, sparse: []uint32{v}, count: 1, idx: &sparseIndex{}}
 }
 
 // FromSparse wraps a list of distinct vertex ids.
 func FromSparse(n int, ids []uint32) VertexSubset {
-	return VertexSubset{n: n, sparse: ids, count: len(ids)}
+	return VertexSubset{n: n, sparse: ids, count: len(ids), idx: &sparseIndex{}}
 }
 
 // FromDense wraps a dense membership array; count must equal the number of
@@ -82,17 +93,33 @@ func (s VertexSubset) Universe() int { return s.n }
 // IsDense reports the current representation.
 func (s VertexSubset) IsDense() bool { return s.isDen }
 
-// Contains reports membership. O(1) dense, O(|s|) sparse.
+// Contains reports membership. O(1) for dense subsets. Sparse subsets pay a
+// one-time O(|s| log |s|) build of a sorted index (shared by all copies of
+// the subset, built on first call) and O(log |s|) per lookup afterwards —
+// replacing the old O(|s|) linear scan per call.
 func (s VertexSubset) Contains(v uint32) bool {
 	if s.isDen {
 		return int(v) < len(s.dense) && s.dense[v]
 	}
-	for _, u := range s.sparse {
-		if u == v {
-			return true
-		}
+	if len(s.sparse) == 0 {
+		return false
 	}
-	return false
+	if s.idx == nil {
+		// Zero-value subsets never went through a constructor; fall back to
+		// the scan rather than racing to attach an index to a shared copy.
+		return slices.Contains(s.sparse, v)
+	}
+	s.idx.once.Do(func() {
+		if slices.IsSorted(s.sparse) {
+			s.idx.sorted = s.sparse
+			return
+		}
+		sorted := slices.Clone(s.sparse)
+		parallel.SortUint32(sorted)
+		s.idx.sorted = sorted
+	})
+	_, ok := slices.BinarySearch(s.idx.sorted, v)
+	return ok
 }
 
 // ToSparse returns the subset in sparse form.
@@ -101,7 +128,7 @@ func (s VertexSubset) ToSparse() VertexSubset {
 		return s
 	}
 	ids := parallel.PackIndices(s.n, func(i int) bool { return s.dense[i] })
-	return VertexSubset{n: s.n, sparse: ids, count: len(ids)}
+	return FromSparse(s.n, ids)
 }
 
 // ToDense returns the subset in dense form.

@@ -1,0 +1,171 @@
+package parallel
+
+import "slices"
+
+// This file implements a parallel LSD (least-significant-digit) radix sort
+// for fixed-width integer keys. It is the sort under every batch update:
+// edge batches are packed as (src<<32 | dst) uint64 keys and sorted before
+// grouping (paper §5, "Batch Updates"). Radix sort replaces the previous
+// comparison-based parallel merge sort: it is O(n · passes) with sequential
+// memory traffic, and passes over byte positions in which no key differs are
+// skipped outright, so batches drawn from a small vertex-id space (e.g.
+// 2^20 vertices → only 5 of 8 bytes populated) pay only for the bytes that
+// carry information.
+
+const (
+	radixBits    = 8
+	radixBuckets = 1 << radixBits
+	// radixMinLen is the input size below which the stdlib comparison sort
+	// wins (cache-resident, no histogram overhead).
+	radixMinLen = 512
+	// radixParLen is the input size above which histogram and scatter
+	// phases fan out across Procs workers.
+	radixParLen = 1 << 15
+)
+
+type radixKey interface{ ~uint32 | ~uint64 }
+
+// RadixSortUint64 sorts a in ascending order with a parallel LSD radix
+// sort. O(n) work per populated byte position; stable within passes (and
+// therefore correct across them).
+func RadixSortUint64(a []uint64) { radixSort(a, 8) }
+
+// RadixSortUint32 sorts a in ascending order with a parallel LSD radix sort.
+func RadixSortUint32(a []uint32) { radixSort(a, 4) }
+
+// radixSort sorts a, whose keys are width bytes wide at most.
+func radixSort[T radixKey](a []T, width int) {
+	n := len(a)
+	if n < radixMinLen {
+		slices.Sort(a)
+		return
+	}
+	// orDiff has a bit set wherever any key differs from a[0]; byte
+	// positions that are zero in orDiff are constant across the input and
+	// their passes are skipped.
+	orDiff := orDiffOf(a)
+	if orDiff == 0 {
+		return // all keys equal
+	}
+	buf := make([]T, n)
+	src, dst := a, buf
+	for pass := 0; pass < width; pass++ {
+		shift := uint(pass * radixBits)
+		if (orDiff>>shift)&(radixBuckets-1) == 0 {
+			continue
+		}
+		radixPass(src, dst, shift)
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// orDiffOf returns the OR over all keys of (key XOR a[0]), computed with a
+// parallel reduction for large inputs.
+func orDiffOf[T radixKey](a []T) T {
+	ref := a[0]
+	if Procs <= 1 || len(a) < radixParLen {
+		var d T
+		for _, x := range a {
+			d |= x ^ ref
+		}
+		return d
+	}
+	nb := Procs * 4
+	if nb > len(a) {
+		nb = len(a)
+	}
+	partial := make([]T, nb)
+	sz := (len(a) + nb - 1) / nb
+	ForGrain(nb, 1, func(b int) {
+		lo, hi := b*sz, (b+1)*sz
+		if hi > len(a) {
+			hi = len(a)
+		}
+		if lo >= hi {
+			return
+		}
+		var d T
+		for _, x := range a[lo:hi] {
+			d |= x ^ ref
+		}
+		partial[b] = d
+	})
+	var d T
+	for _, x := range partial {
+		d |= x
+	}
+	return d
+}
+
+// radixPass performs one stable counting-sort pass on the byte at shift,
+// scattering src into dst. For large inputs the histogram and scatter run
+// across Procs workers over contiguous blocks; per-worker offset rows make
+// every scatter write target disjoint, so no synchronization is needed
+// beyond the two barriers.
+func radixPass[T radixKey](src, dst []T, shift uint) {
+	n := len(src)
+	if Procs <= 1 || n < radixParLen {
+		var cnt [radixBuckets]int
+		for _, x := range src {
+			cnt[uint8(x>>shift)]++
+		}
+		s := 0
+		for d := range cnt {
+			c := cnt[d]
+			cnt[d] = s
+			s += c
+		}
+		for _, x := range src {
+			d := uint8(x >> shift)
+			dst[cnt[d]] = x
+			cnt[d]++
+		}
+		return
+	}
+	p := Procs
+	sz := (n + p - 1) / p
+	counts := make([]int, p*radixBuckets)
+	ForGrain(p, 1, func(w int) {
+		lo, hi := w*sz, (w+1)*sz
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			return
+		}
+		cnt := counts[w*radixBuckets : (w+1)*radixBuckets]
+		for _, x := range src[lo:hi] {
+			cnt[uint8(x>>shift)]++
+		}
+	})
+	// Exclusive scan in (digit, worker) order: worker w's run of digit d
+	// lands after every smaller digit and after earlier workers' runs of d,
+	// preserving stability.
+	s := 0
+	for d := 0; d < radixBuckets; d++ {
+		for w := 0; w < p; w++ {
+			i := w*radixBuckets + d
+			c := counts[i]
+			counts[i] = s
+			s += c
+		}
+	}
+	ForGrain(p, 1, func(w int) {
+		lo, hi := w*sz, (w+1)*sz
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			return
+		}
+		off := counts[w*radixBuckets : (w+1)*radixBuckets]
+		for _, x := range src[lo:hi] {
+			d := uint8(x >> shift)
+			dst[off[d]] = x
+			off[d]++
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// radixCases covers the distributions the LSD sort must handle: uniform
+// 64-bit keys, keys confined to a narrow byte range (pass skipping),
+// constant keys, presorted and reverse-sorted runs, and sizes straddling
+// the sequential/parallel thresholds.
+func TestRadixSortUint64(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	sizes := []int{0, 1, 2, radixMinLen - 1, radixMinLen, 10_000, radixParLen, radixParLen + 12345}
+	gens := map[string]func(n int) []uint64{
+		"uniform": func(n int) []uint64 {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = r.Uint64()
+			}
+			return a
+		},
+		"narrow": func(n int) []uint64 { // only low 2 bytes vary
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(r.Intn(1 << 16))
+			}
+			return a
+		},
+		"packed-edges": func(n int) []uint64 { // (src<<32|dst), small ids
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(r.Intn(1<<20))<<32 | uint64(r.Intn(1<<20))
+			}
+			return a
+		},
+		"constant": func(n int) []uint64 {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = 0xdeadbeef
+			}
+			return a
+		},
+		"sorted": func(n int) []uint64 {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(i)
+			}
+			return a
+		},
+		"reversed": func(n int) []uint64 {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = uint64(n - i)
+			}
+			return a
+		},
+	}
+	for name, gen := range gens {
+		for _, n := range sizes {
+			a := gen(n)
+			want := slices.Clone(a)
+			slices.Sort(want)
+			RadixSortUint64(a)
+			if !slices.Equal(a, want) {
+				t.Fatalf("%s/n=%d: radix sort disagrees with slices.Sort", name, n)
+			}
+		}
+	}
+}
+
+func TestRadixSortUint32(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 100, radixMinLen, 50_000, radixParLen + 999} {
+		a := make([]uint32, n)
+		for i := range a {
+			a[i] = r.Uint32()
+		}
+		want := slices.Clone(a)
+		slices.Sort(want)
+		RadixSortUint32(a)
+		if !slices.Equal(a, want) {
+			t.Fatalf("n=%d: radix sort disagrees with slices.Sort", n)
+		}
+	}
+}
+
+// TestRadixSortHighProcs pins the trailing-block partitioning: with many
+// workers, ceil-divided block bounds can start past the end of the input
+// (e.g. Procs=64, n=40000 → nb=256, sz=157, block 255 starts at 40035) and
+// must be skipped rather than sliced.
+func TestRadixSortHighProcs(t *testing.T) {
+	old := Procs
+	defer func() { Procs = old }()
+	r := rand.New(rand.NewSource(13))
+	for _, procs := range []int{64, 200, 384} {
+		Procs = procs
+		for _, n := range []int{radixParLen + 1, 40_000, 32_769} {
+			a := make([]uint64, n)
+			for i := range a {
+				a[i] = r.Uint64()
+			}
+			want := slices.Clone(a)
+			slices.Sort(want)
+			RadixSortUint64(a)
+			if !slices.Equal(a, want) {
+				t.Fatalf("procs=%d n=%d: mismatch", procs, n)
+			}
+		}
+	}
+}
+
+// TestRadixSortSingleProc pins the Procs==1 sequential path.
+func TestRadixSortSingleProc(t *testing.T) {
+	old := Procs
+	Procs = 1
+	defer func() { Procs = old }()
+	r := rand.New(rand.NewSource(11))
+	a := make([]uint64, 100_000)
+	for i := range a {
+		a[i] = r.Uint64()
+	}
+	want := slices.Clone(a)
+	slices.Sort(want)
+	RadixSortUint64(a)
+	if !slices.Equal(a, want) {
+		t.Fatal("sequential radix sort disagrees with slices.Sort")
+	}
+}
+
+func BenchmarkRadixSortUint64(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	src := make([]uint64, 1_000_000)
+	for i := range src {
+		src[i] = uint64(r.Intn(1<<20))<<32 | uint64(r.Intn(1<<20))
+	}
+	a := make([]uint64, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(a, src)
+		RadixSortUint64(a)
+	}
+	b.ReportMetric(float64(len(src))*float64(b.N)/b.Elapsed().Seconds(), "keys/sec")
+}

@@ -1,71 +1,13 @@
 package parallel
 
-import "sort"
+// SortUint64 sorts a in ascending order. It is used to sort edge batches
+// encoded as (src<<32 | dst) pairs, the first step of every batch update
+// (paper §5 "Batch Updates"). Implemented as a parallel LSD radix sort (see
+// radix.go) with a comparison-sort fallback for small inputs.
+func SortUint64(a []uint64) { RadixSortUint64(a) }
 
-// SortUint64 sorts a in ascending order using a parallel merge sort above a
-// size threshold and the standard library sort below it. It is used to sort
-// edge batches encoded as (src<<32 | dst) pairs, the first step of every
-// batch update (paper §5 "Batch Updates").
-func SortUint64(a []uint64) {
-	if len(a) <= 4*defaultGrain || Procs <= 1 {
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-		return
-	}
-	buf := make([]uint64, len(a))
-	mergeSort(a, buf, Procs)
-}
-
-// mergeSort sorts a using buf as scratch, splitting into p leaves.
-func mergeSort(a, buf []uint64, p int) {
-	if p <= 1 || len(a) <= 4*defaultGrain {
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-		return
-	}
-	mid := len(a) / 2
-	Do(
-		func() { mergeSort(a[:mid], buf[:mid], p/2) },
-		func() { mergeSort(a[mid:], buf[mid:], p-p/2) },
-	)
-	copy(buf, a)
-	merge(buf[:mid], buf[mid:], a)
-}
-
-// merge merges sorted x and y into out (len(out) == len(x)+len(y)).
-func merge(x, y, out []uint64) {
-	i, j, k := 0, 0, 0
-	for i < len(x) && j < len(y) {
-		if x[i] <= y[j] {
-			out[k] = x[i]
-			i++
-		} else {
-			out[k] = y[j]
-			j++
-		}
-		k++
-	}
-	for i < len(x) {
-		out[k] = x[i]
-		i++
-		k++
-	}
-	for j < len(y) {
-		out[k] = y[j]
-		j++
-		k++
-	}
-}
-
-// SortUint32 sorts a in ascending order.
-func SortUint32(a []uint32) {
-	if len(a) <= 4*defaultGrain || Procs <= 1 {
-		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
-		return
-	}
-	wide := make([]uint64, len(a))
-	For(len(a), func(i int) { wide[i] = uint64(a[i]) })
-	SortUint64(wide)
-	For(len(a), func(i int) { a[i] = uint32(wide[i]) })
-}
+// SortUint32 sorts a in ascending order (parallel LSD radix sort).
+func SortUint32(a []uint32) { RadixSortUint32(a) }
 
 // DedupSortedUint64 removes adjacent duplicates from sorted a in place and
 // returns the shortened slice.
