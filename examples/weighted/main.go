@@ -1,72 +1,42 @@
 // Weighted: the weighted-graph extension (the paper's stated future work) —
-// maintain a purely-functional weighted graph under streaming weight
-// updates and answer single-source shortest-path queries on snapshots.
+// maintain a purely-functional weighted graph whose edge weights live
+// inside the compressed C-tree chunks, stream weight updates against it,
+// and answer single-source shortest-path queries on snapshots with the
+// parallel SSSP from the algorithm suite.
 package main
 
 import (
-	"container/heap"
 	"fmt"
 
+	"repro/internal/algos"
 	"repro/internal/aspen"
 )
 
-// pqItem is a Dijkstra priority-queue entry.
-type pqItem struct {
-	v    uint32
-	dist float64
-}
-
-type pq []pqItem
-
-func (p pq) Len() int           { return len(p) }
-func (p pq) Less(i, j int) bool { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)      { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x any)        { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() any          { old := *p; it := old[len(old)-1]; *p = old[:len(old)-1]; return it }
-
-// dijkstra computes shortest path distances from src on a weighted snapshot.
-func dijkstra(g aspen.WeightedGraph, src uint32) map[uint32]float64 {
-	dist := map[uint32]float64{src: 0}
-	h := &pq{{v: src}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(pqItem)
-		if it.dist > dist[it.v] {
-			continue
-		}
-		g.ForEachNeighborWeight(it.v, func(u uint32, w float32) bool {
-			nd := it.dist + float64(w)
-			if d, ok := dist[u]; !ok || nd < d {
-				dist[u] = nd
-				heap.Push(h, pqItem{v: u, dist: nd})
-			}
-			return true
-		})
-	}
-	return dist
-}
-
 func main() {
-	// A small road-network-like weighted graph.
-	g := aspen.NewWeightedGraph()
-	roads := []aspen.WeightedEdge{
-		{Src: 0, Dst: 1, Weight: 4}, {Src: 1, Dst: 0, Weight: 4},
-		{Src: 1, Dst: 2, Weight: 3}, {Src: 2, Dst: 1, Weight: 3},
-		{Src: 0, Dst: 3, Weight: 10}, {Src: 3, Dst: 0, Weight: 10},
-		{Src: 2, Dst: 3, Weight: 2}, {Src: 3, Dst: 2, Weight: 2},
-	}
-	g = g.InsertEdges(roads)
+	// A small road-network-like weighted graph. Roads are symmetric, so
+	// each segment is inserted in both directions with the same weight.
+	g := aspen.NewWeightedGraph().InsertEdges(aspen.MakeUndirectedWeighted([]aspen.WeightedEdge{
+		{Src: 0, Dst: 1, Weight: 4},
+		{Src: 1, Dst: 2, Weight: 3},
+		{Src: 0, Dst: 3, Weight: 10},
+		{Src: 2, Dst: 3, Weight: 2},
+	}))
 	fmt.Printf("network: %d nodes, %d directed road segments, total length %.0f\n",
 		g.NumVertices(), g.NumEdges(), g.TotalWeight())
+	s := g.Stats()
+	fmt.Printf("compressed weighted adjacency: %d chunk bytes (ids + weights interleaved)\n",
+		s.Edge.ChunkBytes)
 
-	before := dijkstra(g, 0)
+	before := algos.SSSP(g, 0)
 	fmt.Printf("shortest 0 -> 3 before congestion: %.0f (via 1 and 2)\n", before[3])
 
-	// A traffic update re-weights segment 1<->2; snapshots are persistent,
-	// so the old distances remain queryable.
-	g2 := g.InsertEdges([]aspen.WeightedEdge{
-		{Src: 1, Dst: 2, Weight: 20}, {Src: 2, Dst: 1, Weight: 20},
-	})
-	after := dijkstra(g2, 0)
+	// A traffic update re-weights segment 1<->2 in place (inserting an
+	// existing edge overwrites its weight); snapshots are persistent, so
+	// the old distances remain queryable.
+	g2 := g.InsertEdges(aspen.MakeUndirectedWeighted([]aspen.WeightedEdge{
+		{Src: 1, Dst: 2, Weight: 20},
+	}))
+	after := algos.SSSP(g2, 0)
 	fmt.Printf("shortest 0 -> 3 after congestion:  %.0f (direct road wins)\n", after[3])
-	fmt.Printf("old snapshot still answers:         %.0f\n", dijkstra(g, 0)[3])
+	fmt.Printf("old snapshot still answers:         %.0f\n", algos.SSSP(g, 0)[3])
 }

@@ -12,7 +12,7 @@ import (
 // concurrently with updates since it only reads the persistent version.
 type FlatSnapshot struct {
 	graph   Graph
-	trees   []ctree.Tree
+	trees   []ctree.Set
 	present []bool
 	degrees []int32
 	order   int
@@ -23,12 +23,12 @@ func BuildFlatSnapshot(g Graph) *FlatSnapshot {
 	order := g.Order()
 	fs := &FlatSnapshot{
 		graph:   g,
-		trees:   make([]ctree.Tree, order),
+		trees:   make([]ctree.Set, order),
 		present: make([]bool, order),
 		degrees: make([]int32, order),
 		order:   order,
 	}
-	vops.ForEachIndexed(g.vt, func(_ int, u uint32, et ctree.Tree) {
+	vops.ForEachIndexed(g.vt, func(_ int, u uint32, et ctree.Set) {
 		fs.trees[u] = et
 		fs.present[u] = true
 		fs.degrees[u] = int32(et.Size())
@@ -77,9 +77,9 @@ func (fs *FlatSnapshot) HasVertex(u uint32) bool {
 }
 
 // EdgeTree returns u's edge tree in O(1).
-func (fs *FlatSnapshot) EdgeTree(u uint32) (ctree.Tree, bool) {
+func (fs *FlatSnapshot) EdgeTree(u uint32) (ctree.Set, bool) {
 	if !fs.HasVertex(u) {
-		return ctree.Tree{}, false
+		return ctree.Set{}, false
 	}
 	return fs.trees[u], true
 }

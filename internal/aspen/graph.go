@@ -3,7 +3,10 @@
 // values are C-trees of neighbor ids (a tree of compressed trees, Figure 4),
 // with lightweight snapshots, functional batch updates, flat snapshots for
 // global algorithms, and a single-writer / multi-reader versioned graph that
-// provides strictly serializable concurrent updates and queries.
+// provides strictly serializable concurrent updates and queries. The batch
+// machinery (batch.go) is generic over a fixed-width edge payload: Graph is
+// the id-only instantiation and WeightedGraph (weighted.go) the float32 one,
+// both riding the same compressed chunks.
 //
 // All Graph methods are read-only or functional: updates return a new Graph
 // that shares almost all structure with the old one, so existing snapshots
@@ -23,35 +26,11 @@ type Edge struct {
 	Src, Dst uint32
 }
 
-// vnode is a vertex-tree node: key = vertex id, value = edge C-tree,
-// augmented with the total number of edges in the subtree so NumEdges is
-// O(1) (paper §5, "we augment the vertex-tree to store the number of edges
-// contained in its subtrees").
-type vnode = pftree.Node[uint32, ctree.Tree, uint64]
-
-var vops = &pftree.Ops[uint32, ctree.Tree, uint64]{
-	Cmp: func(a, b uint32) int {
-		switch {
-		case a < b:
-			return -1
-		case a > b:
-			return 1
-		default:
-			return 0
-		}
-	},
-	Aug: pftree.Augment[uint32, ctree.Tree, uint64]{
-		Zero:      0,
-		FromEntry: func(_ uint32, et ctree.Tree) uint64 { return et.Size() },
-		Combine:   func(a, b uint64) uint64 { return a + b },
-	},
-}
-
 // Graph is an immutable snapshot of an undirected graph. The zero Graph uses
 // unusable parameters; construct with NewGraph or FromAdjacency.
 type Graph struct {
 	p  ctree.Params
-	vt *vnode
+	vt *vnode[struct{}]
 }
 
 // NewGraph returns an empty graph whose edge trees use params p.
@@ -61,12 +40,12 @@ func NewGraph(p ctree.Params) Graph { return Graph{p: p} }
 // neighbors of vertex u (they will be sorted and deduplicated). Every index
 // of adj becomes a vertex, including isolated ones.
 func FromAdjacency(p ctree.Params, adj [][]uint32) Graph {
-	entries := make([]pftree.Entry[uint32, ctree.Tree], len(adj))
+	entries := make([]pftree.Entry[uint32, ctree.Set], len(adj))
 	parallel.ForGrain(len(adj), 64, func(u int) {
 		nbrs := append([]uint32(nil), adj[u]...)
 		parallel.SortUint32(nbrs)
 		nbrs = parallel.DedupSortedUint32(nbrs)
-		entries[u] = pftree.Entry[uint32, ctree.Tree]{Key: uint32(u), Val: ctree.Build(p, nbrs)}
+		entries[u] = pftree.Entry[uint32, ctree.Set]{Key: uint32(u), Val: ctree.Build(p, nbrs)}
 	})
 	return Graph{p: p, vt: vops.BuildSorted(entries)}
 }
@@ -98,7 +77,7 @@ func (g Graph) HasVertex(u uint32) bool {
 }
 
 // EdgeTree returns u's edge C-tree. O(log n).
-func (g Graph) EdgeTree(u uint32) (ctree.Tree, bool) {
+func (g Graph) EdgeTree(u uint32) (ctree.Set, bool) {
 	return vops.Find(g.vt, u)
 }
 
@@ -137,12 +116,12 @@ func (g Graph) ForEachNeighborPar(u uint32, f func(v uint32)) {
 
 // ForEachVertex applies f to every (vertex, edge-tree) pair in id order
 // until f returns false.
-func (g Graph) ForEachVertex(f func(u uint32, et ctree.Tree) bool) {
+func (g Graph) ForEachVertex(f func(u uint32, et ctree.Set) bool) {
 	vops.ForEach(g.vt, f)
 }
 
 // ForEachVertexPar applies f to every vertex in parallel.
-func (g Graph) ForEachVertexPar(f func(u uint32, et ctree.Tree)) {
+func (g Graph) ForEachVertexPar(f func(u uint32, et ctree.Set)) {
 	vops.ForEachPar(g.vt, f)
 }
 
@@ -158,132 +137,45 @@ func sortEdgeBatch(edges []Edge) []uint64 {
 	return parallel.DedupSortedUint64(packed)
 }
 
-// groupBySource splits the packed sorted batch into per-source runs of
-// destination ids. Every run is a subslice of one shared backing array (the
-// low words of packed, materialized once in parallel) — no per-run copies.
-func groupBySource(packed []uint64) (srcs []uint32, dsts [][]uint32) {
-	if len(packed) == 0 {
-		return nil, nil
-	}
-	all := make([]uint32, len(packed))
-	parallel.For(len(packed), func(i int) { all[i] = uint32(packed[i]) })
-	starts := parallel.PackIndices(len(packed), func(i int) bool {
-		return i == 0 || packed[i]>>32 != packed[i-1]>>32
-	})
-	srcs = make([]uint32, len(starts))
-	dsts = make([][]uint32, len(starts))
-	parallel.ForGrain(len(starts), 64, func(j int) {
-		lo := int(starts[j])
-		hi := len(packed)
-		if j+1 < len(starts) {
-			hi = int(starts[j+1])
-		}
-		srcs[j] = uint32(packed[lo] >> 32)
-		dsts[j] = all[lo:hi]
-	})
-	return srcs, dsts
-}
-
 // InsertEdges returns a graph with the batch inserted (duplicates combined).
-// Vertices appearing as sources or destinations are created as needed. This
-// is the paper's batch-update algorithm (§5): sort, group, build per-source
-// edge trees, then MultiInsert into the vertex-tree with a combine function
-// that unions edge trees. Destination-only endpoints ride along in the same
-// MultiInsert as entries with empty edge trees, so the whole batch is one
-// vertex-tree pass. O(k log n) work, polylog depth.
+// Vertices appearing as sources or destinations are created as needed; the
+// whole batch is one radix sort plus one fused vertex-tree pass (batch.go).
+// O(k log n) work, polylog depth.
 func (g Graph) InsertEdges(edges []Edge) Graph {
 	if len(edges) == 0 {
 		return g
 	}
 	packed := sortEdgeBatch(edges)
-	srcs, dsts := groupBySource(packed)
-	// Destination endpoints must exist as vertices so traversals can land
-	// on them. Keep only the ids actually missing from the vertex tree
-	// (checked in parallel against the pre-update tree): in a populated
-	// graph this is usually empty, so the fused MultiInsert below carries
-	// no extra entries. A missing destination that is also a batch source
-	// is created by its source entry; the merge dedupes that case.
-	dstIDs := make([]uint32, len(packed))
-	parallel.For(len(packed), func(i int) { dstIDs[i] = uint32(packed[i]) })
-	parallel.RadixSortUint32(dstIDs)
-	dstIDs = parallel.DedupSortedUint32(dstIDs)
-	missing := make([]bool, len(dstIDs))
-	parallel.ForGrain(len(dstIDs), 64, func(i int) {
-		_, ok := vops.Find(g.vt, dstIDs[i])
-		missing[i] = !ok
-	})
-	w := 0
-	for i, d := range dstIDs {
-		if missing[i] {
-			dstIDs[w] = d
-			w++
-		}
-	}
-	dstIDs = dstIDs[:w]
-	// Merge sources and missing destinations into one sorted entry list:
-	// sources carry their batch edge tree (built below, in parallel),
-	// destination-only ids an empty tree. A single MultiInsert then both
-	// unions the edge batches and creates the missing endpoints.
-	entries := make([]pftree.Entry[uint32, ctree.Tree], 0, len(srcs)+len(dstIDs))
-	runOf := make([]int, 0, len(srcs)+len(dstIDs)) // index into dsts, -1 for dst-only
-	i, j := 0, 0
-	for i < len(srcs) || j < len(dstIDs) {
-		switch {
-		case j >= len(dstIDs) || (i < len(srcs) && srcs[i] < dstIDs[j]):
-			entries = append(entries, pftree.Entry[uint32, ctree.Tree]{Key: srcs[i]})
-			runOf = append(runOf, i)
-			i++
-		case i >= len(srcs) || dstIDs[j] < srcs[i]:
-			entries = append(entries, pftree.Entry[uint32, ctree.Tree]{Key: dstIDs[j], Val: ctree.New(g.p)})
-			runOf = append(runOf, -1)
-			j++
-		default: // same id is both a source and a destination
-			entries = append(entries, pftree.Entry[uint32, ctree.Tree]{Key: srcs[i]})
-			runOf = append(runOf, i)
-			i++
-			j++
-		}
-	}
-	parallel.ForGrain(len(entries), 16, func(k int) {
-		if r := runOf[k]; r >= 0 {
-			entries[k].Val = ctree.Build(g.p, dsts[r])
-		}
-	})
-	root := vops.MultiInsert(g.vt, entries, func(old, new ctree.Tree) ctree.Tree {
-		return old.Union(new)
-	})
-	return Graph{p: g.p, vt: root}
+	return Graph{p: g.p, vt: insertEdgesCore(vops, g.p, g.vt, packed, nil, nil)}
 }
 
 // DeleteEdges returns a graph with the batch removed; absent edges are
 // ignored and vertices are kept even at degree zero (the paper makes
-// singleton removal optional).
+// singleton removal optional — see DeleteEdgesGC for the opt-in).
 func (g Graph) DeleteEdges(edges []Edge) Graph {
 	if len(edges) == 0 {
 		return g
 	}
 	packed := sortEdgeBatch(edges)
-	srcs, dsts := groupBySource(packed)
-	entries := make([]pftree.Entry[uint32, ctree.Tree], 0, len(srcs))
-	keep := make([]bool, len(srcs))
-	parallel.ForGrain(len(srcs), 16, func(i int) {
-		_, ok := vops.Find(g.vt, srcs[i])
-		keep[i] = ok
-	})
-	for i := range srcs {
-		if keep[i] {
-			entries = append(entries, pftree.Entry[uint32, ctree.Tree]{
-				Key: srcs[i], Val: ctree.Build(g.p, dsts[i]),
-			})
-		}
-	}
-	if len(entries) == 0 {
+	return Graph{p: g.p, vt: deleteEdgesCore(vops, g.p, g.vt, packed, false)}
+}
+
+// DeleteEdgesGC is DeleteEdges with the isolated-vertex GC opted in: any
+// vertex whose edge tree becomes empty is dropped from the vertex-tree in
+// the same pass. Intended for symmetric graphs, where deletes arrive in
+// both directions and so both endpoints empty out together.
+func (g Graph) DeleteEdgesGC(edges []Edge) Graph {
+	if len(edges) == 0 {
 		return g
 	}
-	root := vops.MultiInsert(g.vt, entries, func(old, del ctree.Tree) ctree.Tree {
-		return old.Difference(del)
-	})
-	return Graph{p: g.p, vt: root}
+	packed := sortEdgeBatch(edges)
+	return Graph{p: g.p, vt: deleteEdgesCore(vops, g.p, g.vt, packed, true)}
+}
+
+// CollectIsolated returns a graph without its degree-zero vertices — the
+// full-sweep form of the isolated-vertex GC. O(n).
+func (g Graph) CollectIsolated() Graph {
+	return Graph{p: g.p, vt: collectIsolatedCore(vops, g.vt)}
 }
 
 // InsertVertices adds the given vertex ids with empty edge trees.
@@ -294,11 +186,11 @@ func (g Graph) InsertVertices(ids []uint32) Graph {
 	sorted := append([]uint32(nil), ids...)
 	parallel.SortUint32(sorted)
 	sorted = parallel.DedupSortedUint32(sorted)
-	entries := make([]pftree.Entry[uint32, ctree.Tree], len(sorted))
+	entries := make([]pftree.Entry[uint32, ctree.Set], len(sorted))
 	for i, id := range sorted {
-		entries[i] = pftree.Entry[uint32, ctree.Tree]{Key: id, Val: ctree.New(g.p)}
+		entries[i] = pftree.Entry[uint32, ctree.Set]{Key: id, Val: ctree.New(g.p)}
 	}
-	root := vops.MultiInsert(g.vt, entries, func(old, _ ctree.Tree) ctree.Tree { return old })
+	root := vops.MultiInsert(g.vt, entries, func(old, _ ctree.Set) ctree.Set { return old })
 	return Graph{p: g.p, vt: root}
 }
 
@@ -314,9 +206,9 @@ func (g Graph) DeleteVertices(ids []uint32) Graph {
 	root := vops.MultiDelete(g.vt, sorted)
 	// Strip edges pointing at the removed vertices from every survivor.
 	del := ctree.Build(g.p, sorted)
-	entries := make([]pftree.Entry[uint32, ctree.Tree], 0, root.Size())
-	vops.ForEach(root, func(u uint32, et ctree.Tree) bool {
-		entries = append(entries, pftree.Entry[uint32, ctree.Tree]{Key: u, Val: et})
+	entries := make([]pftree.Entry[uint32, ctree.Set], 0, root.Size())
+	vops.ForEach(root, func(u uint32, et ctree.Set) bool {
+		entries = append(entries, pftree.Entry[uint32, ctree.Set]{Key: u, Val: et})
 		return true
 	})
 	parallel.ForGrain(len(entries), 16, func(i int) {
@@ -335,7 +227,7 @@ type Stats struct {
 // Stats walks the graph and returns its memory shape.
 func (g Graph) Stats() Stats {
 	s := Stats{VertexNodes: g.vt.Size()}
-	vops.ForEach(g.vt, func(_ uint32, et ctree.Tree) bool {
+	vops.ForEach(g.vt, func(_ uint32, et ctree.Set) bool {
 		s.Edge.Add(et.Stats())
 		return true
 	})

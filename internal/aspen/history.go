@@ -90,13 +90,13 @@ func (h *History) Latest() Graph {
 // The vertex walk itself is linear in the vertex count.
 func DiffEdges(old, new Graph) (added, removed []Edge) {
 	// Walk both vertex trees in merged key order.
-	oldEntries := map[uint32]ctree.Tree{}
-	old.ForEachVertex(func(u uint32, et ctree.Tree) bool {
+	oldEntries := map[uint32]ctree.Set{}
+	old.ForEachVertex(func(u uint32, et ctree.Set) bool {
 		oldEntries[u] = et
 		return true
 	})
 	seen := map[uint32]bool{}
-	new.ForEachVertex(func(u uint32, etNew ctree.Tree) bool {
+	new.ForEachVertex(func(u uint32, etNew ctree.Set) bool {
 		seen[u] = true
 		etOld, had := oldEntries[u]
 		if had && etNew.EqualRep(etOld) {

@@ -1,18 +1,22 @@
 package aspen
 
 import (
+	"repro/internal/ctree"
 	"repro/internal/parallel"
-	"repro/internal/pftree"
 )
 
 // WeightedGraph extends Aspen with real-valued edge weights — functionality
 // the paper explicitly defers to future work (§6: "Aspen currently does not
-// support weighted edges"). Edge trees here are purely-functional
-// (uncompressed) trees mapping neighbor id to weight; the vertex-tree is
-// augmented with the edge count exactly as in the unweighted graph, so the
-// versioned-graph machinery and the algorithm interface carry over.
+// support weighted edges"). Edge trees are compressed C-trees over a
+// float32 payload (ctree.Tree[float32]): neighbor ids are difference-
+// encoded exactly as in the unweighted graph, with each id's weight stored
+// as four fixed bytes interleaved into the chunk, so weighted workloads
+// keep the space and locality wins of the compressed format. Batch updates
+// share the radix-sorted fused vertex-tree pass of the unweighted graph
+// (batch.go); duplicate updates resolve last-writer-wins in batch order.
 type WeightedGraph struct {
-	vt *pftree.Node[uint32, wedgeTree, uint64]
+	p  ctree.Params
+	vt *vnode[float32]
 }
 
 // WeightedEdge is a directed weighted edge update.
@@ -21,41 +25,16 @@ type WeightedEdge struct {
 	Weight   float32
 }
 
-// wedgeTree is one vertex's weighted adjacency: dst -> weight, augmented
-// with the subtree edge count (trivially the size, kept for symmetry).
-type wedgeTree = *pftree.Node[uint32, float32, uint64]
+// NewWeightedGraph returns an empty weighted graph with the paper's default
+// compression parameters.
+func NewWeightedGraph() WeightedGraph { return NewWeightedGraphWith(ctree.DefaultParams()) }
 
-func cmpU32(a, b uint32) int {
-	switch {
-	case a < b:
-		return -1
-	case a > b:
-		return 1
-	default:
-		return 0
-	}
-}
+// NewWeightedGraphWith returns an empty weighted graph whose edge trees use
+// params p.
+func NewWeightedGraphWith(p ctree.Params) WeightedGraph { return WeightedGraph{p: p} }
 
-var weops = &pftree.Ops[uint32, float32, uint64]{
-	Cmp: cmpU32,
-	Aug: pftree.Augment[uint32, float32, uint64]{
-		Zero:      0,
-		FromEntry: func(uint32, float32) uint64 { return 1 },
-		Combine:   func(a, b uint64) uint64 { return a + b },
-	},
-}
-
-var wvops = &pftree.Ops[uint32, wedgeTree, uint64]{
-	Cmp: cmpU32,
-	Aug: pftree.Augment[uint32, wedgeTree, uint64]{
-		Zero:      0,
-		FromEntry: func(_ uint32, et wedgeTree) uint64 { return uint64(et.Size()) },
-		Combine:   func(a, b uint64) uint64 { return a + b },
-	},
-}
-
-// NewWeightedGraph returns an empty weighted graph.
-func NewWeightedGraph() WeightedGraph { return WeightedGraph{} }
+// Params returns the edge-tree parameters of g.
+func (g WeightedGraph) Params() ctree.Params { return g.p }
 
 // NumVertices returns the number of vertices in O(1).
 func (g WeightedGraph) NumVertices() int { return g.vt.Size() }
@@ -72,13 +51,24 @@ func (g WeightedGraph) Order() int {
 	return int(last.Key()) + 1
 }
 
+// HasVertex reports whether u is a vertex of g.
+func (g WeightedGraph) HasVertex(u uint32) bool {
+	_, ok := wvops.Find(g.vt, u)
+	return ok
+}
+
+// EdgeTree returns u's weighted edge C-tree. O(log n).
+func (g WeightedGraph) EdgeTree(u uint32) (ctree.Tree[float32], bool) {
+	return wvops.Find(g.vt, u)
+}
+
 // Degree returns u's degree.
 func (g WeightedGraph) Degree(u uint32) int {
 	et, ok := wvops.Find(g.vt, u)
 	if !ok {
 		return 0
 	}
-	return et.Size()
+	return int(et.Size())
 }
 
 // Weight returns the weight of edge (u, v).
@@ -87,99 +77,133 @@ func (g WeightedGraph) Weight(u, v uint32) (float32, bool) {
 	if !ok {
 		return 0, false
 	}
-	return weops.Find(et, v)
+	return et.Find(v)
 }
 
 // ForEachNeighbor applies f to u's neighbors in increasing order (weights
 // dropped), satisfying the ligra.Graph interface.
 func (g WeightedGraph) ForEachNeighbor(u uint32, f func(v uint32) bool) {
-	et, ok := wvops.Find(g.vt, u)
-	if !ok {
-		return
+	if et, ok := wvops.Find(g.vt, u); ok {
+		et.ForEach(f)
 	}
-	weops.ForEach(et, func(v uint32, _ float32) bool { return f(v) })
 }
 
-// ForEachNeighborWeight applies f to (neighbor, weight) pairs in order.
-func (g WeightedGraph) ForEachNeighborWeight(u uint32, f func(v uint32, w float32) bool) {
-	et, ok := wvops.Find(g.vt, u)
-	if !ok {
-		return
+// ForEachNeighborPar applies f to u's neighbors with edge-tree parallelism
+// (unordered).
+func (g WeightedGraph) ForEachNeighborPar(u uint32, f func(v uint32)) {
+	if et, ok := wvops.Find(g.vt, u); ok {
+		et.ForEachPar(f)
 	}
-	weops.ForEach(et, f)
+}
+
+// ForEachNeighborW applies f to (neighbor, weight) pairs in increasing
+// neighbor order until f returns false — the ligra.WeightedGraph
+// capability.
+func (g WeightedGraph) ForEachNeighborW(u uint32, f func(v uint32, w float32) bool) {
+	if et, ok := wvops.Find(g.vt, u); ok {
+		et.ForEachKV(f)
+	}
+}
+
+// ForEachNeighborWeight is the historical name of ForEachNeighborW.
+func (g WeightedGraph) ForEachNeighborWeight(u uint32, f func(v uint32, w float32) bool) {
+	g.ForEachNeighborW(u, f)
+}
+
+// sortWeightedEdgeBatch packs, stably sorts and dedupes a weighted batch;
+// for duplicate (src, dst) pairs the last weight in batch order wins.
+func sortWeightedEdgeBatch(edges []WeightedEdge) ([]uint64, []float32) {
+	packed := make([]uint64, len(edges))
+	ws := make([]float32, len(edges))
+	parallel.For(len(edges), func(i int) {
+		packed[i] = uint64(edges[i].Src)<<32 | uint64(edges[i].Dst)
+		ws[i] = edges[i].Weight
+	})
+	parallel.RadixSortUint64Pairs(packed, ws)
+	return parallel.DedupSortedUint64PairsLast(packed, ws)
 }
 
 // InsertEdges adds a batch of weighted directed edges; duplicate updates to
-// the same edge keep the last weight in batch order, and updates to existing
-// edges overwrite their weight (the paper's interface allows weight updates
-// through the same insertion path, §5).
+// the same edge keep the last weight in batch order, and updates to
+// existing edges overwrite their weight (the paper's interface allows
+// weight updates through the same insertion path, §5). Same fused
+// single-pass batch algorithm as the unweighted graph.
 func (g WeightedGraph) InsertEdges(edges []WeightedEdge) WeightedGraph {
 	if len(edges) == 0 {
 		return g
 	}
-	// Group by source; last write per (src, dst) wins.
-	bySrc := map[uint32]map[uint32]float32{}
-	for _, e := range edges {
-		if bySrc[e.Src] == nil {
-			bySrc[e.Src] = map[uint32]float32{}
-		}
-		bySrc[e.Src][e.Dst] = e.Weight
-	}
-	srcs := make([]uint32, 0, len(bySrc))
-	for u := range bySrc {
-		srcs = append(srcs, u)
-	}
-	parallel.SortUint32(srcs)
-	entries := make([]pftree.Entry[uint32, wedgeTree], len(srcs))
-	parallel.ForGrain(len(srcs), 16, func(i int) {
-		u := srcs[i]
-		dsts := make([]uint32, 0, len(bySrc[u]))
-		for v := range bySrc[u] {
-			dsts = append(dsts, v)
-		}
-		parallel.SortUint32(dsts)
-		sub := make([]pftree.Entry[uint32, float32], len(dsts))
-		for j, v := range dsts {
-			sub[j] = pftree.Entry[uint32, float32]{Key: v, Val: bySrc[u][v]}
-		}
-		entries[i] = pftree.Entry[uint32, wedgeTree]{Key: u, Val: weops.BuildSorted(sub)}
-	})
-	root := wvops.MultiInsert(g.vt, entries, func(old, new wedgeTree) wedgeTree {
-		return weops.Union(old, new, nil) // new weights win
-	})
-	return WeightedGraph{vt: root}
+	packed, ws := sortWeightedEdgeBatch(edges)
+	return WeightedGraph{p: g.p, vt: insertEdgesCore(wvops, g.p, g.vt, packed, ws, nil)}
 }
 
-// DeleteEdges removes a batch of directed edges (weights ignored).
+// InsertEdgesWith is InsertEdges with an explicit weight-merge policy for
+// edges that already exist: the stored weight becomes merge(old, new). A
+// nil merge overwrites (last-writer-wins).
+func (g WeightedGraph) InsertEdgesWith(edges []WeightedEdge, merge func(old, new float32) float32) WeightedGraph {
+	if len(edges) == 0 {
+		return g
+	}
+	packed, ws := sortWeightedEdgeBatch(edges)
+	return WeightedGraph{p: g.p, vt: insertEdgesCore(wvops, g.p, g.vt, packed, ws, merge)}
+}
+
+// DeleteEdges removes a batch of directed edges (weights ignored); vertices
+// are kept even at degree zero.
 func (g WeightedGraph) DeleteEdges(edges []WeightedEdge) WeightedGraph {
-	bySrc := map[uint32][]uint32{}
-	for _, e := range edges {
-		bySrc[e.Src] = append(bySrc[e.Src], e.Dst)
+	if len(edges) == 0 {
+		return g
 	}
-	root := g.vt
-	for u, dsts := range bySrc {
-		et, ok := wvops.Find(root, u)
-		if !ok {
-			continue
-		}
-		parallel.SortUint32(dsts)
-		dsts = parallel.DedupSortedUint32(dsts)
-		et2 := weops.MultiDelete(et, dsts)
-		root = wvops.Insert(root, u, et2, nil)
-	}
-	return WeightedGraph{vt: root}
+	packed := make([]uint64, len(edges))
+	parallel.For(len(edges), func(i int) {
+		packed[i] = uint64(edges[i].Src)<<32 | uint64(edges[i].Dst)
+	})
+	parallel.RadixSortUint64(packed)
+	packed = parallel.DedupSortedUint64(packed)
+	return WeightedGraph{p: g.p, vt: deleteEdgesCore(wvops, g.p, g.vt, packed, false)}
+}
+
+// CollectIsolated returns a graph without its degree-zero vertices.
+func (g WeightedGraph) CollectIsolated() WeightedGraph {
+	return WeightedGraph{p: g.p, vt: collectIsolatedCore(wvops, g.vt)}
+}
+
+// ForEachVertexW applies f to every (vertex, weighted edge-tree) pair in id
+// order until f returns false.
+func (g WeightedGraph) ForEachVertexW(f func(u uint32, et ctree.Tree[float32]) bool) {
+	wvops.ForEach(g.vt, f)
 }
 
 // TotalWeight sums all edge weights (an example of an associative
 // aggregation the paper notes could be maintained by augmentation).
 func (g WeightedGraph) TotalWeight() float64 {
 	var total float64
-	wvops.ForEach(g.vt, func(_ uint32, et wedgeTree) bool {
-		weops.ForEach(et, func(_ uint32, w float32) bool {
+	wvops.ForEach(g.vt, func(_ uint32, et ctree.Tree[float32]) bool {
+		et.ForEachKV(func(_ uint32, w float32) bool {
 			total += float64(w)
 			return true
 		})
 		return true
 	})
 	return total
+}
+
+// Stats walks the graph and returns its memory shape (chunk bytes include
+// the interleaved weight bytes).
+func (g WeightedGraph) Stats() Stats {
+	s := Stats{VertexNodes: g.vt.Size()}
+	wvops.ForEach(g.vt, func(_ uint32, et ctree.Tree[float32]) bool {
+		s.Edge.Add(et.Stats())
+		return true
+	})
+	return s
+}
+
+// MakeUndirectedWeighted duplicates each weighted edge in both directions
+// with the same weight (symmetric-graph batch form).
+func MakeUndirectedWeighted(edges []WeightedEdge) []WeightedEdge {
+	out := make([]WeightedEdge, 0, 2*len(edges))
+	for _, e := range edges {
+		out = append(out, e, WeightedEdge{Src: e.Dst, Dst: e.Src, Weight: e.Weight})
+	}
+	return out
 }

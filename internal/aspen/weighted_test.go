@@ -14,7 +14,9 @@ func TestWeightedInsertFind(t *testing.T) {
 		{Src: 0, Dst: 2, Weight: 2.5},
 		{Src: 1, Dst: 0, Weight: 1.5},
 	})
-	if g.NumEdges() != 3 || g.NumVertices() != 2 {
+	// Like the unweighted graph, the shared batch path creates
+	// destination-only endpoints (vertex 2) so traversals can land on them.
+	if g.NumEdges() != 3 || g.NumVertices() != 3 {
 		t.Fatalf("m=%d n=%d", g.NumEdges(), g.NumVertices())
 	}
 	if w, ok := g.Weight(0, 2); !ok || w != 2.5 {

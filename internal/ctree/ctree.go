@@ -1,15 +1,21 @@
 // Package ctree implements the C-tree (paper §3–§4): a compressed
-// purely-functional search tree over uint32 elements. A hash function
-// promotes roughly one in B elements to be a head; heads live in a
-// purely-functional weight-balanced tree and every head stores, as its value,
-// the chunk of non-head elements that follow it (its tail). Non-head elements
-// smaller than every head form the prefix. Because head-ness is determined by
-// the element's hash, the same element is a head in every tree that contains
-// it, which keeps the batch algorithms simple and efficient.
+// purely-functional search tree over uint32 elements, generic over a
+// fixed-width per-element payload V. A hash function promotes roughly one
+// in B elements to be a head; heads live in a purely-functional
+// weight-balanced tree and every head stores, as its value, its own payload
+// plus the chunk of non-head elements that follow it (its tail). Non-head
+// elements smaller than every head form the prefix. Because head-ness is
+// determined by the element's hash, the same element is a head in every
+// tree that contains it, which keeps the batch algorithms simple and
+// efficient.
 //
-// Chunks are stored contiguously and, for the Delta codec, difference-encoded
-// with byte codes, giving the space usage and locality of compressed static
-// representations while keeping O(log n)-ish purely-functional updates.
+// Chunks are stored contiguously and, for the Delta codec,
+// difference-encoded with byte codes, with each element's value bytes
+// interleaved after its gap code — giving the space usage and locality of
+// compressed static representations while keeping O(log n)-ish
+// purely-functional updates. V = struct{} (the Set alias) is the paper's
+// id-only tree and pays zero bytes for the payload; V = float32 is the
+// compressed weighted adjacency set the paper defers to future work (§6).
 //
 // Three configurations reproduce the paper's three memory formats:
 //
@@ -24,11 +30,17 @@ package ctree
 import (
 	"fmt"
 	"math"
+	"reflect"
+	"sync"
 
 	"repro/internal/encoding"
 	"repro/internal/pftree"
 	"repro/internal/xhash"
 )
+
+// Value is the payload constraint re-exported from encoding: a fixed-width,
+// pointer-free, comparable type.
+type Value = encoding.Value
 
 // Params fixes the chunking parameter and chunk representation of a C-tree.
 // Trees combined by set operations must share identical Params.
@@ -59,117 +71,235 @@ func (p Params) isHead(e uint32) bool {
 	return p.Plain || xhash.Mix32(e)%uint64(p.B) == 0
 }
 
-// hnode is a node of the head tree: key = head element, value = tail chunk,
+// tail is a head's stored value: the head element's own payload plus the
+// encoded chunk of the non-head elements that follow it.
+type tail[V Value] struct {
+	hv V
+	c  encoding.Chunk
+}
+
+// hnode is a node of the head tree: key = head element, value = tail,
 // augmented with the total element count (head + tail) of the subtree.
-type hnode = pftree.Node[uint32, encoding.Chunk, uint64]
+type hnode[V Value] = pftree.Node[uint32, tail[V], uint64]
 
-// hops is the shared node-level operation set for head trees.
-var hops = &pftree.Ops[uint32, encoding.Chunk, uint64]{
-	Cmp: func(a, b uint32) int {
-		switch {
-		case a < b:
-			return -1
-		case a > b:
-			return 1
-		default:
-			return 0
-		}
-	},
-	Aug: pftree.Augment[uint32, encoding.Chunk, uint64]{
-		Zero:      0,
-		FromEntry: func(_ uint32, tail encoding.Chunk) uint64 { return 1 + uint64(tail.Count()) },
-		Combine:   func(a, b uint64) uint64 { return a + b },
-	},
+// hopsT is the node-level operation set of a head tree.
+type hopsT[V Value] = pftree.Ops[uint32, tail[V], uint64]
+
+func cmpU32(a, b uint32) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
 }
 
-// Tree is an immutable C-tree. The zero Tree has unusable Params; construct
-// trees with New or Build. All operations return new trees that share
-// structure with their inputs, so existing snapshots are never disturbed.
-type Tree struct {
-	p      Params
+func addU64(a, b uint64) uint64 { return a + b }
+
+// config bundles everything trees of one (payload type, Params) class
+// share: the parameters, the head-tree operation table, and the two
+// canonical merge-policy function values. Configs are interned, so a Tree
+// carries a single pointer (keeping the struct at PR-1's size — the values
+// stored per vertex-tree node are copied and GC-scanned constantly) and
+// parameter equality is pointer equality. Function values referencing
+// generic instantiations carry a dictionary pointer and so allocate when
+// materialized; interning them keeps the nil-merge (last-writer-wins)
+// Union path allocation-free.
+type config[V Value] struct {
+	p   Params
+	ops *hopsT[V]
+	// takeNew keeps the second (newer) value, takeOld the first.
+	takeNew func(V, V) V
+	takeOld func(V, V) V
+}
+
+// cfgKey keys the intern table by payload type and parameters.
+type cfgKey struct {
+	t reflect.Type
+	p Params
+}
+
+var cfgCache sync.Map // cfgKey -> *config[V]
+
+func cfgFor[V Value](p Params) *config[V] {
+	key := cfgKey{t: reflect.TypeFor[V](), p: p}
+	if v, ok := cfgCache.Load(key); ok {
+		return v.(*config[V])
+	}
+	c := &config[V]{
+		p: p,
+		ops: &hopsT[V]{
+			Cmp: cmpU32,
+			Aug: pftree.Augment[uint32, tail[V], uint64]{
+				Zero:      0,
+				FromEntry: func(_ uint32, t tail[V]) uint64 { return 1 + uint64(t.c.Count()) },
+				Combine:   addU64,
+			},
+		},
+		takeNew: takeSecond[V],
+		takeOld: takeFirst[V],
+	}
+	actual, _ := cfgCache.LoadOrStore(key, c)
+	return actual.(*config[V])
+}
+
+// Tree is an immutable C-tree mapping uint32 elements to payloads of type
+// V. The zero Tree has unusable Params; construct trees with New/NewKV or
+// Build/BuildKV. All operations return new trees that share structure with
+// their inputs, so existing snapshots are never disturbed.
+type Tree[V Value] struct {
+	h      *config[V]
 	prefix encoding.Chunk
-	root   *hnode
+	root   *hnode[V]
 }
 
-// New returns an empty C-tree with the given parameters.
-func New(p Params) Tree {
+// Set is the id-only C-tree — the paper's original structure, and the
+// representation behind every unweighted Aspen graph.
+type Set = Tree[struct{}]
+
+// NewKV returns an empty C-tree over payload type V with the given
+// parameters.
+func NewKV[V Value](p Params) Tree[V] {
 	if p.B < 1 {
 		panic("ctree: Params.B must be >= 1")
 	}
-	return Tree{p: p}
+	return Tree[V]{h: cfgFor[V](p)}
 }
 
-// Build constructs a C-tree over elems, which must be strictly increasing.
-// O(n) work given sorted input; O(b log n) depth w.h.p.
-func Build(p Params, elems []uint32) Tree {
-	t := New(p)
-	if len(elems) == 0 {
+// New returns an empty id-only C-tree with the given parameters.
+func New(p Params) Set { return NewKV[struct{}](p) }
+
+// ops returns the interned config, resolving the zero-Params config for
+// zero-value trees that never went through a constructor (their Params are
+// unusable, matching the historical zero Tree).
+func (t Tree[V]) ops() *config[V] {
+	if t.h != nil {
+		return t.h
+	}
+	return cfgFor[V](Params{})
+}
+
+// BuildKV constructs a C-tree over ids (strictly increasing) carrying
+// vals (same length, or nil for zero values). O(n) work given sorted
+// input; O(b log n) depth w.h.p.
+func BuildKV[V Value](p Params, ids []uint32, vals []V) Tree[V] {
+	return NewKV[V](p).BuildLike(ids, vals)
+}
+
+// BuildLike builds a fresh tree over (ids, vals) sharing t's parameters
+// and interned operation table. Batch loops that construct many trees use
+// it to skip the per-call table lookup of BuildKV.
+func (t Tree[V]) BuildLike(ids []uint32, vals []V) Tree[V] {
+	t = Tree[V]{h: t.ops()}
+	p := t.h.p
+	if len(ids) == 0 {
 		return t
+	}
+	if vals != nil && len(vals) != len(ids) {
+		panic("ctree: ids/vals length mismatch")
 	}
 	// Single pass: each element is hashed once (isHead costs a multiply and
 	// a divide) and every head's tail segment is encoded in place as soon
 	// as the next head is found. The entry slice is sized to the expected
 	// head count, n/B, so growth is rare.
-	entries := make([]pftree.Entry[uint32, encoding.Chunk], 0, len(elems)/int(p.B)+1)
+	entries := make([]pftree.Entry[uint32, tail[V]], 0, len(ids)/int(p.B)+1)
 	head := -1 // index of the pending head
-	for i, e := range elems {
+	for i, e := range ids {
 		if !p.isHead(e) {
 			continue
 		}
 		if head < 0 {
-			t.prefix = encoding.Encode(p.Codec, elems[:i])
+			t.prefix = encoding.EncodeKV(p.Codec, ids[:i], valRange(vals, 0, i))
 		} else {
-			entries = append(entries, pftree.Entry[uint32, encoding.Chunk]{
-				Key: elems[head],
-				Val: encoding.Encode(p.Codec, elems[head+1:i]),
+			entries = append(entries, pftree.Entry[uint32, tail[V]]{
+				Key: ids[head],
+				Val: tail[V]{
+					hv: valAt(vals, head),
+					c:  encoding.EncodeKV(p.Codec, ids[head+1:i], valRange(vals, head+1, i)),
+				},
 			})
 		}
 		head = i
 	}
 	if head < 0 {
-		t.prefix = encoding.Encode(p.Codec, elems)
+		t.prefix = encoding.EncodeKV(p.Codec, ids, vals)
 		return t
 	}
-	entries = append(entries, pftree.Entry[uint32, encoding.Chunk]{
-		Key: elems[head],
-		Val: encoding.Encode(p.Codec, elems[head+1:]),
+	entries = append(entries, pftree.Entry[uint32, tail[V]]{
+		Key: ids[head],
+		Val: tail[V]{
+			hv: valAt(vals, head),
+			c:  encoding.EncodeKV(p.Codec, ids[head+1:], valRange(vals, head+1, len(ids))),
+		},
 	})
-	t.root = hops.BuildSorted(entries)
+	t.root = t.h.ops.BuildSorted(entries)
 	return t
 }
 
+// Build constructs an id-only C-tree over elems, which must be strictly
+// increasing.
+func Build(p Params, elems []uint32) Set { return BuildKV[struct{}](p, elems, nil) }
+
+// valAt returns vals[i], or the zero value when vals is nil.
+func valAt[V Value](vals []V, i int) V {
+	if vals == nil {
+		var z V
+		return z
+	}
+	return vals[i]
+}
+
+// valRange returns vals[lo:hi], staying nil when vals is nil.
+func valRange[V Value](vals []V, lo, hi int) []V {
+	if vals == nil {
+		return nil
+	}
+	return vals[lo:hi]
+}
+
 // Params returns the tree's parameters.
-func (t Tree) Params() Params { return t.p }
+func (t Tree[V]) Params() Params { return t.ops().p }
 
 // Size returns the number of elements, in O(1) via augmentation.
-func (t Tree) Size() uint64 {
-	return uint64(t.prefix.Count()) + hops.AugOf(t.root)
+func (t Tree[V]) Size() uint64 {
+	return uint64(t.prefix.Count()) + t.root.AugOrZero()
 }
 
 // Empty reports whether the tree holds no elements.
-func (t Tree) Empty() bool { return t.root == nil && t.prefix.Empty() }
+func (t Tree[V]) Empty() bool { return t.root == nil && t.prefix.Empty() }
 
 // Contains reports whether e is in the tree. O(log n + b) expected work.
-func (t Tree) Contains(e uint32) bool {
-	if t.prefix.Contains(t.p.Codec, e) {
-		return true
-	}
-	n, ok := hops.FindLE(t.root, e)
-	if !ok {
-		return false
-	}
-	if n.Key() == e {
-		return true
-	}
-	return n.Val().Contains(t.p.Codec, e)
+func (t Tree[V]) Contains(e uint32) bool {
+	_, ok := t.Find(e)
+	return ok
 }
 
-// ForEach applies f to every element in increasing order until f returns
-// false.
-func (t Tree) ForEach(f func(e uint32) bool) {
+// Find returns the payload stored for e. O(log n + b) expected work.
+func (t Tree[V]) Find(e uint32) (V, bool) {
+	t = t.norm()
+	if v, ok := encoding.FindKV[V](t.h.p.Codec, t.prefix, e); ok {
+		return v, true
+	}
+	n, ok := t.ops().ops.FindLE(t.root, e)
+	if !ok {
+		var z V
+		return z, false
+	}
+	if n.Key() == e {
+		return n.Val().hv, true
+	}
+	return encoding.FindKV[V](t.h.p.Codec, n.Val().c, e)
+}
+
+// ForEachKV applies f to every (element, payload) pair in increasing order
+// until f returns false.
+func (t Tree[V]) ForEachKV(f func(e uint32, v V) bool) {
+	t = t.norm()
 	stop := false
-	t.prefix.ForEach(t.p.Codec, func(e uint32) bool {
-		if !f(e) {
+	encoding.ForEachKV(t.h.p.Codec, t.prefix, func(e uint32, v V) bool {
+		if !f(e, v) {
 			stop = true
 		}
 		return !stop
@@ -177,13 +307,13 @@ func (t Tree) ForEach(f func(e uint32) bool) {
 	if stop {
 		return
 	}
-	hops.ForEach(t.root, func(h uint32, tail encoding.Chunk) bool {
-		if !f(h) {
+	t.ops().ops.ForEach(t.root, func(h uint32, tl tail[V]) bool {
+		if !f(h, tl.hv) {
 			return false
 		}
 		ok := true
-		tail.ForEach(t.p.Codec, func(e uint32) bool {
-			if !f(e) {
+		encoding.ForEachKV(t.h.p.Codec, tl.c, func(e uint32, v V) bool {
+			if !f(e, v) {
 				ok = false
 			}
 			return ok
@@ -192,19 +322,51 @@ func (t Tree) ForEach(f func(e uint32) bool) {
 	})
 }
 
-// ForEachPar applies f to every element with tree-node parallelism; within a
-// chunk elements are delivered sequentially in order, across chunks the
+// chunkForEach walks a chunk's ids under the tree's payload width (the
+// id-only Chunk.ForEach would mis-parse value bytes as gap codes).
+func (t Tree[V]) chunkForEach(c encoding.Chunk, f func(e uint32) bool) bool {
+	return encoding.ForEachIDs[V](t.h.p.Codec, c, f)
+}
+
+// ForEach applies f to every element in increasing order until f returns
+// false.
+func (t Tree[V]) ForEach(f func(e uint32) bool) {
+	t = t.norm()
+	if !t.chunkForEach(t.prefix, f) {
+		return
+	}
+	t.ops().ops.ForEach(t.root, func(h uint32, tl tail[V]) bool {
+		if !f(h) {
+			return false
+		}
+		return t.chunkForEach(tl.c, f)
+	})
+}
+
+// ForEachPar applies f to every element with tree-node parallelism; within
+// a chunk elements are delivered sequentially in order, across chunks the
 // order is unspecified. f must be safe for concurrent use.
-func (t Tree) ForEachPar(f func(e uint32)) {
-	t.prefix.ForEach(t.p.Codec, func(e uint32) bool { f(e); return true })
-	hops.ForEachPar(t.root, func(h uint32, tail encoding.Chunk) {
+func (t Tree[V]) ForEachPar(f func(e uint32)) {
+	t = t.norm()
+	t.chunkForEach(t.prefix, func(e uint32) bool { f(e); return true })
+	t.ops().ops.ForEachPar(t.root, func(h uint32, tl tail[V]) {
 		f(h)
-		tail.ForEach(t.p.Codec, func(e uint32) bool { f(e); return true })
+		t.chunkForEach(tl.c, func(e uint32) bool { f(e); return true })
+	})
+}
+
+// ForEachKVPar is the (element, payload) analogue of ForEachPar.
+func (t Tree[V]) ForEachKVPar(f func(e uint32, v V)) {
+	t = t.norm()
+	encoding.ForEachKV(t.h.p.Codec, t.prefix, func(e uint32, v V) bool { f(e, v); return true })
+	t.ops().ops.ForEachPar(t.root, func(h uint32, tl tail[V]) {
+		f(h, tl.hv)
+		encoding.ForEachKV(t.h.p.Codec, tl.c, func(e uint32, v V) bool { f(e, v); return true })
 	})
 }
 
 // ToSlice returns all elements in increasing order.
-func (t Tree) ToSlice() []uint32 {
+func (t Tree[V]) ToSlice() []uint32 {
 	out := make([]uint32, 0, t.Size())
 	t.ForEach(func(e uint32) bool {
 		out = append(out, e)
@@ -214,11 +376,11 @@ func (t Tree) ToSlice() []uint32 {
 }
 
 // First returns the smallest element.
-func (t Tree) First() (uint32, bool) {
+func (t Tree[V]) First() (uint32, bool) {
 	if !t.prefix.Empty() {
 		return t.prefix.First(), true
 	}
-	if n := hops.First(t.root); n != nil {
+	if n := t.ops().ops.First(t.root); n != nil {
 		return n.Key(), true
 	}
 	return 0, false
@@ -229,7 +391,7 @@ type Stats struct {
 	// Nodes is the number of head-tree nodes.
 	Nodes int
 	// ChunkBytes is the total encoded size of all chunks (tails + prefix),
-	// including their 12-byte headers.
+	// including their 12-byte headers and any payload value bytes.
 	ChunkBytes int
 	// Elements is the total element count.
 	Elements uint64
@@ -243,11 +405,11 @@ func (s *Stats) Add(s2 Stats) {
 }
 
 // Stats walks the tree and returns its memory shape.
-func (t Tree) Stats() Stats {
+func (t Tree[V]) Stats() Stats {
 	s := Stats{ChunkBytes: t.prefix.Bytes(), Elements: t.Size()}
-	hops.ForEach(t.root, func(_ uint32, tail encoding.Chunk) bool {
+	t.ops().ops.ForEach(t.root, func(_ uint32, tl tail[V]) bool {
 		s.Nodes++
-		s.ChunkBytes += tail.Bytes()
+		s.ChunkBytes += tl.c.Bytes()
 		return true
 	})
 	return s
@@ -255,44 +417,55 @@ func (t Tree) Stats() Stats {
 
 // smallestHead returns the smallest head of n, or math.MaxUint64 when n is
 // nil (so comparisons treat the empty tree as +infinity).
-func smallestHead(n *hnode) uint64 {
+func smallestHead[V Value](h *hopsT[V], n *hnode[V]) uint64 {
 	if n == nil {
 		return math.MaxUint64
 	}
-	return uint64(hops.First(n).Key())
+	return uint64(h.First(n).Key())
 }
 
 // splitChunkBelow splits c around bound (an exclusive upper key that is
-// either a head value or +infinity). Heads never occur inside chunks, so the
-// middle "found" slot is impossible; it is asserted away.
-func (t Tree) splitChunkBelow(c encoding.Chunk, bound uint64) (lo, hi encoding.Chunk) {
+// either a head value or +infinity). Heads never occur inside chunks, so
+// the middle "found" slot is impossible; it is asserted away.
+func (t Tree[V]) splitChunkBelow(c encoding.Chunk, bound uint64) (lo, hi encoding.Chunk) {
 	if c.Empty() {
 		return nil, nil
 	}
 	if bound > math.MaxUint32 {
 		return c, nil
 	}
-	lo, found, hi := c.Split(t.p.Codec, uint32(bound))
+	lo, _, found, hi := encoding.SplitKV[V](t.h.p.Codec, c, uint32(bound))
 	if found {
 		panic("ctree: head value found inside a chunk")
 	}
 	return lo, hi
 }
 
-// chunkUnion merges two chunks under the tree's codec.
-func (t Tree) chunkUnion(a, b encoding.Chunk) encoding.Chunk {
-	return encoding.Union(t.p.Codec, a, b)
+// chunkUnion merges two chunks under the tree's codec; m resolves payload
+// collisions as m(aVal, bVal), with nil keeping b's value.
+func (t Tree[V]) chunkUnion(a, b encoding.Chunk, m func(av, bv V) V) encoding.Chunk {
+	return encoding.UnionKV(t.h.p.Codec, a, b, m)
 }
 
 // wrap assembles a Tree from parts under t's params.
-func (t Tree) wrap(root *hnode, prefix encoding.Chunk) Tree {
-	return Tree{p: t.p, prefix: prefix, root: root}
+func (t Tree[V]) wrap(root *hnode[V], prefix encoding.Chunk) Tree[V] {
+	return Tree[V]{h: t.h, prefix: prefix, root: root}
 }
 
-// samep panics unless u shares t's parameters.
-func (t Tree) samep(u Tree) {
-	if t.p != u.p {
-		panic(fmt.Sprintf("ctree: parameter mismatch: %+v vs %+v", t.p, u.p))
+// norm returns t with its operation table resolved, so internal recursion
+// can rely on t.h being non-nil.
+func (t Tree[V]) norm() Tree[V] {
+	if t.h == nil {
+		t.h = cfgFor[V](Params{})
+	}
+	return t
+}
+
+// samep panics unless u shares t's parameters. Configs are interned per
+// (payload, Params), so this is a pointer compare.
+func (t Tree[V]) samep(u Tree[V]) {
+	if t.ops() != u.ops() {
+		panic(fmt.Sprintf("ctree: parameter mismatch: %+v vs %+v", t.Params(), u.Params()))
 	}
 }
 
@@ -300,9 +473,14 @@ func (t Tree) samep(u Tree) {
 // and prefix storage). Functional updates leave untouched subtrees
 // pointer-identical across versions, so EqualRep lets version-diffing code
 // skip them in O(1) — the structural-sharing dividend of persistence.
-func (t Tree) EqualRep(u Tree) bool {
+func (t Tree[V]) EqualRep(u Tree[V]) bool {
 	if t.root != u.root || len(t.prefix) != len(u.prefix) {
 		return false
 	}
 	return len(t.prefix) == 0 || &t.prefix[0] == &u.prefix[0]
 }
+
+// takeFirst and takeSecond are the canonical merge policies: keep the
+// receiver's payload, or keep the argument's (last-writer-wins).
+func takeFirst[V Value](a, _ V) V  { return a }
+func takeSecond[V Value](_, b V) V { return b }

@@ -137,7 +137,7 @@ func TestInsertDeleteModel(t *testing.T) {
 func TestPersistenceAcrossVersions(t *testing.T) {
 	p := Params{B: 4, Codec: encoding.Delta}
 	tr := New(p)
-	var versions []Tree
+	var versions []Set
 	for i := uint32(0); i < 300; i++ {
 		versions = append(versions, tr)
 		tr = tr.Insert(i)
@@ -210,7 +210,7 @@ func TestSetAlgebraProperty(t *testing.T) {
 			u := a.Union(b)
 			d := a.Difference(b)
 			in := a.Intersect(b)
-			for _, tr := range []Tree{u, d, in} {
+			for _, tr := range []Set{u, d, in} {
 				if err := tr.CheckInvariants(); err != nil {
 					return false
 				}
@@ -467,4 +467,33 @@ func TestEqualRep(t *testing.T) {
 	if !a.Difference(c).Empty() {
 		t.Fatal("self-difference should be empty")
 	}
+}
+
+// TestZeroValueTreeReads pins the historical behavior of the zero Tree:
+// read operations are safe no-ops (PR 2's interned-config representation
+// must resolve it lazily rather than dereference a nil config).
+func TestZeroValueTreeReads(t *testing.T) {
+	var s Set
+	if s.Contains(3) {
+		t.Fatal("zero tree contains an element")
+	}
+	if _, ok := s.Find(3); ok {
+		t.Fatal("zero tree finds an element")
+	}
+	if !s.Empty() || s.Size() != 0 {
+		t.Fatal("zero tree not empty")
+	}
+	s.ForEach(func(uint32) bool { t.Fatal("zero tree enumerated"); return false })
+	s.ForEachPar(func(uint32) { t.Fatal("zero tree enumerated (par)") })
+	if got := s.ToSlice(); len(got) != 0 {
+		t.Fatalf("zero tree ToSlice = %v", got)
+	}
+	if _, ok := s.First(); ok {
+		t.Fatal("zero tree has First")
+	}
+	var w Tree[float32]
+	if _, ok := w.Find(9); ok {
+		t.Fatal("zero weighted tree finds an element")
+	}
+	w.ForEachKV(func(uint32, float32) bool { t.Fatal("zero weighted tree enumerated"); return false })
 }

@@ -16,13 +16,14 @@ import (
 //     strictly between its head and the successor head.
 //
 // It is O(n) and intended for tests.
-func (t Tree) CheckInvariants() error {
-	ht := pftree.Wrap(hops, t.root)
+func (t Tree[V]) CheckInvariants() error {
+	t = t.norm()
+	ht := pftree.Wrap(t.h.ops, t.root)
 	if err := ht.CheckInvariants(func(a, b uint64) bool { return a == b }); err != nil {
 		return err
 	}
 	if !t.prefix.Empty() {
-		if first := hops.First(t.root); first != nil && t.prefix.Last() >= first.Key() {
+		if first := t.h.ops.First(t.root); first != nil && t.prefix.Last() >= first.Key() {
 			return fmt.Errorf("ctree: prefix reaches past the first head")
 		}
 	}
@@ -42,22 +43,21 @@ func (t Tree) CheckInvariants() error {
 	if err != nil {
 		return err
 	}
-	ok := hops.ForEach(t.root, func(h uint32, tail encoding.Chunk) bool {
-		if !t.p.isHead(h) {
+	t.h.ops.ForEach(t.root, func(h uint32, tl tail[V]) bool {
+		if !t.h.p.isHead(h) {
 			err = fmt.Errorf("ctree: %d stored as head but does not hash as one", h)
 			return false
 		}
-		if !tail.Empty() && tail.First() <= h {
-			err = fmt.Errorf("ctree: tail of head %d starts at %d", h, tail.First())
+		if !tl.c.Empty() && tl.c.First() <= h {
+			err = fmt.Errorf("ctree: tail of head %d starts at %d", h, tl.c.First())
 			return false
 		}
-		if e := t.checkChunk(tail, fmt.Sprintf("tail of %d", h)); e != nil {
+		if e := t.checkChunk(tl.c, fmt.Sprintf("tail of %d", h)); e != nil {
 			err = e
 			return false
 		}
 		return true
 	})
-	_ = ok
 	if err != nil {
 		return err
 	}
@@ -71,21 +71,21 @@ func (t Tree) CheckInvariants() error {
 	return nil
 }
 
-// checkChunk verifies no chunk element hashes as a head and the chunk header
-// matches its payload.
-func (t Tree) checkChunk(c encoding.Chunk, what string) error {
+// checkChunk verifies no chunk element hashes as a head and the chunk
+// header matches its payload (decoded under the tree's payload width).
+func (t Tree[V]) checkChunk(c encoding.Chunk, what string) error {
 	if c.Empty() {
 		return nil
 	}
-	elems := c.Decode(t.p.Codec, nil)
-	if len(elems) != c.Count() {
-		return fmt.Errorf("ctree: %s count header %d != %d decoded", what, c.Count(), len(elems))
+	ids, _ := encoding.DecodeKV[V](t.h.p.Codec, c, nil, nil)
+	if len(ids) != c.Count() {
+		return fmt.Errorf("ctree: %s count header %d != %d decoded", what, c.Count(), len(ids))
 	}
-	if elems[0] != c.First() || elems[len(elems)-1] != c.Last() {
+	if ids[0] != c.First() || ids[len(ids)-1] != c.Last() {
 		return fmt.Errorf("ctree: %s first/last header mismatch", what)
 	}
-	for _, e := range elems {
-		if t.p.isHead(e) {
+	for _, e := range ids {
+		if t.h.p.isHead(e) {
 			return fmt.Errorf("ctree: %s contains head-valued element %d", what, e)
 		}
 	}

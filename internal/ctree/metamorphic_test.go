@@ -13,7 +13,7 @@ import (
 // boundary-chunk bugs (orphaned tails, prefix misplacement) that point
 // lookups miss.
 
-func mkPair(s1, s2 uint64, p Params) (Tree, Tree) {
+func mkPair(s1, s2 uint64, p Params) (Set, Set) {
 	r1, r2 := xhash.NewRNG(s1), xhash.NewRNG(s2)
 	a := Build(p, sortedUnique(r1, 150+int(s1%100), 1200))
 	b := Build(p, sortedUnique(r2, 150+int(s2%100), 1200))

@@ -1,32 +1,46 @@
 package ctree
 
-import "repro/internal/parallel"
+import (
+	"repro/internal/encoding"
+	"repro/internal/parallel"
+)
 
-// Insert returns t with e added. O(log n + b) expected work: inserting a
-// non-head re-encodes one chunk; inserting a head splits the chunk it lands
-// in and copies one root-to-leaf path (the advantage over B-trees shown in
-// the paper's Figure 2).
-func (t Tree) Insert(e uint32) Tree {
+// Insert returns t with e added carrying the zero payload; if e is already
+// present, t is returned unchanged (the stored payload survives). O(log n
+// + b) expected work: inserting a non-head re-encodes one chunk; inserting
+// a head splits the chunk it lands in and copies one root-to-leaf path
+// (the advantage over B-trees shown in the paper's Figure 2).
+func (t Tree[V]) Insert(e uint32) Tree[V] {
 	if t.Contains(e) {
 		return t
 	}
-	if t.p.isHead(e) {
+	var z V
+	return t.Put(e, z)
+}
+
+// Put returns t with (e, v) stored, overwriting any existing payload of e.
+func (t Tree[V]) Put(e uint32, v V) Tree[V] {
+	t = t.norm()
+	if t.h.p.isHead(e) {
 		// Elements greater than e up to the next head become e's tail;
-		// Split exposes them as the right part's prefix.
-		l, _, r := t.Split(e)
-		return t.wrap(hops.Join(l.root, e, r.prefix, r.root), l.prefix)
+		// SplitKV exposes them as the right part's prefix (and drops any
+		// previous copy of e).
+		l, _, _, r := t.SplitKV(e)
+		return t.wrap(t.h.ops.Join(l.root, e, tail[V]{hv: v, c: r.prefix}, r.root), l.prefix)
 	}
 	// Non-head: e joins the chunk that covers it.
-	n, ok := hops.FindLE(t.root, e)
+	n, ok := t.h.ops.FindLE(t.root, e)
 	if !ok {
-		return t.wrap(t.root, t.prefix.Insert(t.p.Codec, e))
+		return t.wrap(t.root, encoding.InsertKV(t.h.p.Codec, t.prefix, e, v, true))
 	}
-	return t.wrap(hops.Insert(t.root, n.Key(), n.Val().Insert(t.p.Codec, e), nil), t.prefix)
+	nt := tail[V]{hv: n.Val().hv, c: encoding.InsertKV(t.h.p.Codec, n.Val().c, e, v, true)}
+	return t.wrap(t.h.ops.Insert(t.root, n.Key(), nt, nil), t.prefix)
 }
 
 // Delete returns t with e removed (no-op when absent).
-func (t Tree) Delete(e uint32) Tree {
-	if t.p.isHead(e) {
+func (t Tree[V]) Delete(e uint32) Tree[V] {
+	t = t.norm()
+	if t.h.p.isHead(e) {
 		l, found, r := t.Split(e)
 		if !found {
 			return t
@@ -35,43 +49,58 @@ func (t Tree) Delete(e uint32) Tree {
 		// chunk.
 		return t.concat(l, r.prefix, r.root)
 	}
-	if t.prefix.Contains(t.p.Codec, e) {
-		return t.wrap(t.root, t.prefix.Remove(t.p.Codec, e))
+	if encoding.ContainsKV[V](t.h.p.Codec, t.prefix, e) {
+		return t.wrap(t.root, encoding.RemoveKV[V](t.h.p.Codec, t.prefix, e))
 	}
-	n, ok := hops.FindLE(t.root, e)
-	if !ok || !n.Val().Contains(t.p.Codec, e) {
+	n, ok := t.h.ops.FindLE(t.root, e)
+	if !ok || !encoding.ContainsKV[V](t.h.p.Codec, n.Val().c, e) {
 		return t
 	}
-	return t.wrap(hops.Insert(t.root, n.Key(), n.Val().Remove(t.p.Codec, e), nil), t.prefix)
+	nt := tail[V]{hv: n.Val().hv, c: encoding.RemoveKV[V](t.h.p.Codec, n.Val().c, e)}
+	return t.wrap(t.h.ops.Insert(t.root, n.Key(), nt, nil), t.prefix)
 }
 
 // MultiInsert returns t with the strictly increasing elements of batch
-// added. Implemented as Union with a tree built over the batch (paper §4.1).
-func (t Tree) MultiInsert(batch []uint32) Tree {
+// added carrying zero payloads; payloads of elements already present are
+// preserved. Implemented as Union with a tree built over the batch (paper
+// §4.1).
+func (t Tree[V]) MultiInsert(batch []uint32) Tree[V] {
 	if len(batch) == 0 {
 		return t
 	}
-	return t.Union(Build(t.p, batch))
+	t = t.norm()
+	// Keep-old with the interned policy pair: no closure per call.
+	return t.unionPair(t.BuildLike(batch, nil), t.h.takeOld, t.h.takeNew)
+}
+
+// MultiInsertKV returns t with the strictly increasing ids added carrying
+// vals; collisions with existing elements store merge(oldVal, newVal), or
+// the new value when merge is nil (last-writer-wins).
+func (t Tree[V]) MultiInsertKV(ids []uint32, vals []V, merge func(old, new V) V) Tree[V] {
+	if len(ids) == 0 {
+		return t
+	}
+	return t.UnionWith(t.BuildLike(ids, vals), merge)
 }
 
 // MultiDelete returns t without the strictly increasing elements of batch.
-func (t Tree) MultiDelete(batch []uint32) Tree {
+func (t Tree[V]) MultiDelete(batch []uint32) Tree[V] {
 	if len(batch) == 0 {
 		return t
 	}
-	return t.Difference(Build(t.p, batch))
+	return t.Difference(t.BuildLike(batch, nil))
 }
 
-// BuildUnsorted sorts and dedupes elems (destructively) and builds a C-tree.
-func BuildUnsorted(p Params, elems []uint32) Tree {
+// BuildUnsorted sorts and dedupes elems (destructively) and builds an
+// id-only C-tree.
+func BuildUnsorted(p Params, elems []uint32) Set {
 	parallel.SortUint32(elems)
 	return Build(p, parallel.DedupSortedUint32(elems))
 }
 
-// Intersection via decode is exported for completeness of the element-level
-// API: IntersectSlice intersects the tree with a sorted slice, returning the
+// IntersectSlice intersects the tree with a sorted slice, returning the
 // common elements. Useful for triangle-style queries on adjacency sets.
-func (t Tree) IntersectSlice(sorted []uint32) []uint32 {
+func (t Tree[V]) IntersectSlice(sorted []uint32) []uint32 {
 	var out []uint32
 	i := 0
 	t.ForEach(func(e uint32) bool {

@@ -1,0 +1,370 @@
+package ctree
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/encoding"
+	"repro/internal/xhash"
+)
+
+// Differential and fuzz tests of the compressed weighted C-tree
+// (Tree[float32]) against a plain map/plain-tree reference. The reference
+// semantics are those of the old uncompressed weighted graph: Union is
+// last-writer-wins with the argument as the newer side, Difference and
+// Intersect keep the receiver's payloads.
+
+var weightedParams = []Params{
+	{B: 2, Codec: encoding.Delta},
+	{B: 8, Codec: encoding.Delta},
+	{B: 128, Codec: encoding.Delta},
+	{B: 128, Codec: encoding.Raw},
+	PlainParams(),
+}
+
+// wmodel is the reference: a map from id to weight.
+type wmodel map[uint32]float32
+
+func (m wmodel) sortedIDs() []uint32 {
+	ids := make([]uint32, 0, len(m))
+	for k := range m {
+		ids = append(ids, k)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids
+}
+
+func (m wmodel) build(p Params) Tree[float32] {
+	ids := m.sortedIDs()
+	vals := make([]float32, len(ids))
+	for i, id := range ids {
+		vals[i] = m[id]
+	}
+	return BuildKV(p, ids, vals)
+}
+
+func randomModel(seed uint64, n, maxVal int) wmodel {
+	r := xhash.NewRNG(seed)
+	m := wmodel{}
+	for len(m) < n {
+		id := r.Uint32() % uint32(maxVal)
+		m[id] = float32(r.Intn(1000)) / 4
+	}
+	return m
+}
+
+// mustMatch fails unless tr enumerates exactly the model's pairs in order.
+func mustMatch(t *testing.T, tr Tree[float32], m wmodel, what string) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("%s: %v", what, err)
+	}
+	if int(tr.Size()) != len(m) {
+		t.Fatalf("%s: size %d, want %d", what, tr.Size(), len(m))
+	}
+	var prev int64 = -1
+	ok := true
+	tr.ForEachKV(func(e uint32, v float32) bool {
+		if int64(e) <= prev {
+			t.Errorf("%s: out of order at %d", what, e)
+			ok = false
+			return false
+		}
+		prev = int64(e)
+		want, in := m[e]
+		if !in || want != v {
+			t.Errorf("%s: pair (%d, %v), want (%d, %v) present=%v", what, e, v, e, want, in)
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		t.FailNow()
+	}
+}
+
+func TestWeightedBuildFindForEach(t *testing.T) {
+	for _, p := range weightedParams {
+		for _, n := range []int{0, 1, 5, 300, 4000} {
+			m := randomModel(uint64(n)+7, n, 6*n+10)
+			tr := m.build(p)
+			mustMatch(t, tr, m, "build")
+			for id, w := range m {
+				if v, ok := tr.Find(id); !ok || v != w {
+					t.Fatalf("params %+v: Find(%d) = %v,%v want %v", p, id, v, ok, w)
+				}
+			}
+			r := xhash.NewRNG(99)
+			for i := 0; i < 500; i++ {
+				q := r.Uint32() % uint32(8*n+20)
+				_, want := m[q]
+				if _, got := tr.Find(q); got != want {
+					t.Fatalf("params %+v: Find(%d) presence = %v", p, q, got)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedUnionLWW(t *testing.T) {
+	for _, p := range weightedParams {
+		p := p
+		if err := quick.Check(func(s1, s2 uint64) bool {
+			ma := randomModel(s1, int(s1%200), 900)
+			mb := randomModel(s2, int(s2%200), 900)
+			a, b := ma.build(p), mb.build(p)
+			u := a.Union(b)
+			want := wmodel{}
+			for k, v := range ma {
+				want[k] = v
+			}
+			for k, v := range mb {
+				want[k] = v // b (newer side) wins
+			}
+			mustMatch(t, u, want, "union")
+			// Explicit keep-old policy.
+			uo := a.UnionWith(b, func(av, _ float32) float32 { return av })
+			wantOld := wmodel{}
+			for k, v := range mb {
+				wantOld[k] = v
+			}
+			for k, v := range ma {
+				wantOld[k] = v
+			}
+			mustMatch(t, uo, wantOld, "union-keep-old")
+			return true
+		}, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("params %+v: %v", p, err)
+		}
+	}
+}
+
+func TestWeightedDifferenceIntersect(t *testing.T) {
+	for _, p := range weightedParams {
+		p := p
+		if err := quick.Check(func(s1, s2 uint64) bool {
+			ma := randomModel(s1, int(s1%250), 800)
+			mb := randomModel(s2, int(s2%250), 800)
+			a, b := ma.build(p), mb.build(p)
+			d := a.Difference(b)
+			wantD := wmodel{}
+			for k, v := range ma {
+				if _, in := mb[k]; !in {
+					wantD[k] = v
+				}
+			}
+			mustMatch(t, d, wantD, "difference")
+			in := a.Intersect(b)
+			wantI := wmodel{}
+			for k, v := range ma {
+				if _, ok := mb[k]; ok {
+					wantI[k] = v // receiver's payloads survive
+				}
+			}
+			mustMatch(t, in, wantI, "intersect")
+			return true
+		}, &quick.Config{MaxCount: 50}); err != nil {
+			t.Fatalf("params %+v: %v", p, err)
+		}
+	}
+}
+
+func TestWeightedPutDeleteModel(t *testing.T) {
+	for _, p := range weightedParams {
+		r := xhash.NewRNG(17)
+		tr := NewKV[float32](p)
+		m := wmodel{}
+		for step := 0; step < 1200; step++ {
+			e := r.Uint32() % 300
+			switch r.Intn(4) {
+			case 0:
+				tr = tr.Delete(e)
+				delete(m, e)
+			case 1:
+				tr = tr.Insert(e) // zero payload, keeps existing
+				if _, ok := m[e]; !ok {
+					m[e] = 0
+				}
+			default:
+				w := float32(r.Intn(500)) / 2
+				tr = tr.Put(e, w)
+				m[e] = w
+			}
+			if step%300 == 0 {
+				mustMatch(t, tr, m, "put/delete")
+			}
+		}
+		mustMatch(t, tr, m, "put/delete final")
+	}
+}
+
+func TestWeightedSplitKV(t *testing.T) {
+	p := Params{B: 8, Codec: encoding.Delta}
+	if err := quick.Check(func(seed uint64, kRaw uint16) bool {
+		m := randomModel(seed, int(seed%150), 600)
+		k := uint32(kRaw % 700)
+		tr := m.build(p)
+		l, kv, found, r := tr.SplitKV(k)
+		wantL, wantR := wmodel{}, wmodel{}
+		wantFound := false
+		for id, w := range m {
+			switch {
+			case id < k:
+				wantL[id] = w
+			case id > k:
+				wantR[id] = w
+			default:
+				wantFound = true
+				if kv != w {
+					return false
+				}
+			}
+		}
+		if found != wantFound {
+			return false
+		}
+		mustMatch(t, l, wantL, "split-left")
+		mustMatch(t, r, wantR, "split-right")
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMultiInsertKV(t *testing.T) {
+	p := DefaultParams()
+	base := randomModel(3, 500, 4000)
+	tr := base.build(p)
+	batch := randomModel(4, 200, 4000)
+	ids := batch.sortedIDs()
+	vals := make([]float32, len(ids))
+	for i, id := range ids {
+		vals[i] = batch[id]
+	}
+	// LWW (nil merge): batch overwrites.
+	lww := tr.MultiInsertKV(ids, vals, nil)
+	want := wmodel{}
+	for k, v := range base {
+		want[k] = v
+	}
+	for k, v := range batch {
+		want[k] = v
+	}
+	mustMatch(t, lww, want, "multiinsertkv-lww")
+	// Additive merge.
+	add := tr.MultiInsertKV(ids, vals, func(old, new float32) float32 { return old + new })
+	wantAdd := wmodel{}
+	for k, v := range batch {
+		wantAdd[k] = v
+	}
+	for k, v := range base {
+		if bv, ok := batch[k]; ok {
+			wantAdd[k] = v + bv
+		} else {
+			wantAdd[k] = v
+		}
+	}
+	mustMatch(t, add, wantAdd, "multiinsertkv-add")
+	// Unweighted-compat MultiInsert keeps existing payloads.
+	keep := tr.MultiInsert(ids)
+	wantKeep := wmodel{}
+	for k := range batch {
+		wantKeep[k] = 0
+	}
+	for k, v := range base {
+		wantKeep[k] = v
+	}
+	mustMatch(t, keep, wantKeep, "multiinsert-keeps-old")
+}
+
+func TestWeightedPersistence(t *testing.T) {
+	p := Params{B: 4, Codec: encoding.Delta}
+	tr := NewKV[float32](p)
+	var versions []Tree[float32]
+	for i := uint32(0); i < 200; i++ {
+		versions = append(versions, tr)
+		tr = tr.Put(i, float32(i))
+	}
+	for i, v := range versions {
+		if v.Size() != uint64(i) {
+			t.Fatalf("version %d mutated: size %d", i, v.Size())
+		}
+		if i > 0 {
+			if w, ok := v.Find(uint32(i - 1)); !ok || w != float32(i-1) {
+				t.Fatalf("version %d lost payload", i)
+			}
+		}
+	}
+}
+
+// FuzzWeightedSetOps cross-checks the weighted set algebra against the map
+// reference on fuzz-generated inputs.
+func FuzzWeightedSetOps(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(31), uint64(1007))
+	f.Fuzz(func(t *testing.T, s1, s2 uint64) {
+		p := Params{B: 8, Codec: encoding.Delta}
+		ma := randomModel(s1, int(s1%180), 700)
+		mb := randomModel(s2, int(s2%180), 700)
+		a, b := ma.build(p), mb.build(p)
+		wantU := wmodel{}
+		for k, v := range ma {
+			wantU[k] = v
+		}
+		for k, v := range mb {
+			wantU[k] = v
+		}
+		mustMatch(t, a.Union(b), wantU, "fuzz-union")
+		wantD := wmodel{}
+		for k, v := range ma {
+			if _, in := mb[k]; !in {
+				wantD[k] = v
+			}
+		}
+		mustMatch(t, a.Difference(b), wantD, "fuzz-difference")
+		wantI := wmodel{}
+		for k, v := range ma {
+			if _, in := mb[k]; in {
+				wantI[k] = v
+			}
+		}
+		mustMatch(t, a.Intersect(b), wantI, "fuzz-intersect")
+	})
+}
+
+// TestWeightedUnionAllocBound pins the allocation behavior of the weighted
+// compressed path: a chunk-sized weighted union must stay within a small
+// constant number of allocations per op, like its unweighted twin.
+func TestWeightedUnionAllocBound(t *testing.T) {
+	p := Params{B: 1 << 10, Codec: encoding.Delta} // single-chunk trees
+	ma := randomModel(5, 256, 2000)
+	mb := randomModel(6, 256, 2000)
+	a, b := ma.build(p), mb.build(p)
+	a.Union(b) // warm pools
+	// Mostly prefix-only trees with at most a couple of promoted heads:
+	// one result chunk for the prefix merge plus a handful of head
+	// split/join copies. The bound catches any return of per-element
+	// allocations (which would cost hundreds).
+	if n := testing.AllocsPerRun(100, func() { a.Union(b) }); n > 12 {
+		t.Errorf("weighted small Union allocated %.1f/op, want <= 12", n)
+	}
+}
+
+func TestWeightedInsertAllocBound(t *testing.T) {
+	p := DefaultParams()
+	m := randomModel(7, 2000, 20_000)
+	tr := m.build(p)
+	r := xhash.NewRNG(8)
+	tr.Put(r.Uint32()%20_000, 1) // warm pools
+	if n := testing.AllocsPerRun(200, func() {
+		tr.Put(r.Uint32()%20_000, 3.5)
+	}); n > 24 {
+		t.Errorf("weighted Put allocated %.1f/op, want <= 24", n)
+	}
+}

@@ -1,6 +1,8 @@
 // Package encoding implements the compressed chunk format used by C-trees
-// (paper §3.2, "Integer C-trees"). A chunk is a sorted run of uint32 elements
-// stored contiguously. Two codecs are provided:
+// (paper §3.2, "Integer C-trees"). A chunk is a sorted run of uint32
+// elements stored contiguously, each optionally carrying a fixed-width
+// payload value (kv.go; the paper's format is the zero-width instantiation).
+// Two codecs are provided:
 //
 //   - Delta: difference encoding — the gaps between consecutive elements are
 //     encoded with a variable-length byte code (the same family of codes
@@ -8,10 +10,14 @@
 //   - Raw: elements stored as 4-byte little-endian words, no difference
 //     encoding. This is the "Aspen (No DE)" configuration.
 //
-// Every chunk carries a fixed header with its element count and its first and
-// last elements, so Count/First/Last are O(1). The paper relies on O(1)
+// Every chunk carries a fixed header with its element count and its first
+// and last elements, so Count/First/Last are O(1). The paper relies on O(1)
 // first/last probes to obtain the O(b log n) Split bound (§4.1, Appendix
 // 10.3: "we store the first and last elements at the head of each chunk").
+//
+// This file holds the chunk type, the byte-level primitives, and the
+// id-only (V = struct{}) wrappers over the generic core in kv.go — the
+// historical unweighted API, preserved verbatim for set-typed callers.
 package encoding
 
 import "encoding/binary"
@@ -41,8 +47,12 @@ func (c Codec) String() string {
 // headerSize is count(4) + first(4) + last(4) bytes.
 const headerSize = 12
 
-// Chunk is an immutable encoded run of sorted uint32 elements. A nil Chunk is
-// the empty chunk. Chunks are value types; all operations return new chunks.
+// Chunk is an immutable encoded run of sorted uint32 elements, each
+// optionally paired with a fixed-width value. A nil Chunk is the empty
+// chunk. Chunks are value types; all operations return new chunks. The
+// payload type is not recorded in the bytes: callers must decode a chunk
+// with the same V it was encoded with (C-trees guarantee this through their
+// Params discipline).
 type Chunk []byte
 
 // Count returns the number of elements in c in O(1).
@@ -67,7 +77,8 @@ func (c Chunk) Last() uint32 {
 }
 
 // Bytes returns the total encoded size of the chunk in bytes, including the
-// header. Used by the memory-accounting experiments (Tables 2, 5, 9).
+// header and any value bytes. Used by the memory-accounting experiments
+// (Tables 2, 5, 9).
 func (c Chunk) Bytes() int { return len(c) }
 
 // putUvarint appends x to dst using the standard varint byte code.
@@ -79,8 +90,8 @@ func putUvarint(dst []byte, x uint32) []byte {
 	return append(dst, byte(x))
 }
 
-// uvarint decodes a varint starting at c[i], returning the value and the next
-// offset.
+// uvarint decodes a varint starting at c[i], returning the value and the
+// next offset.
 func uvarint(c []byte, i int) (uint32, int) {
 	var x uint32
 	var s uint
@@ -95,372 +106,64 @@ func uvarint(c []byte, i int) (uint32, int) {
 	}
 }
 
-// Encode builds a chunk from elems, which must be strictly increasing. The
-// slice is not retained. A nil or empty input yields the empty chunk.
+// Encode builds an id-only chunk from elems, which must be strictly
+// increasing. The slice is not retained. A nil or empty input yields the
+// empty chunk.
 func Encode(codec Codec, elems []uint32) Chunk {
-	n := len(elems)
-	if n == 0 {
-		return nil
-	}
-	var c []byte
-	switch codec {
-	case Raw:
-		c = make([]byte, headerSize+4*n)
-		for i, e := range elems {
-			binary.LittleEndian.PutUint32(c[headerSize+4*i:], e)
-		}
-	case Delta:
-		c = make([]byte, headerSize, headerSize+n+n/2)
-		prev := elems[0]
-		for _, e := range elems[1:] {
-			c = putUvarint(c, e-prev)
-			prev = e
-		}
-	default:
-		panic("encoding: unknown codec")
-	}
-	binary.LittleEndian.PutUint32(c[0:4], uint32(n))
-	binary.LittleEndian.PutUint32(c[4:8], elems[0])
-	binary.LittleEndian.PutUint32(c[8:12], elems[n-1])
-	return c
+	return EncodeKV[struct{}](codec, elems, nil)
 }
 
 // Decode appends the elements of c to dst and returns the extended slice.
-// Decoding is sequential within a chunk; chunks are O(b log n) long w.h.p. so
-// this does not affect the asymptotic depth of tree operations (§3.2).
+// Decoding is sequential within a chunk; chunks are O(b log n) long w.h.p.
+// so this does not affect the asymptotic depth of tree operations (§3.2).
 func (c Chunk) Decode(codec Codec, dst []uint32) []uint32 {
-	n := c.Count()
-	if n == 0 {
-		return dst
-	}
-	switch codec {
-	case Raw:
-		for i := 0; i < n; i++ {
-			dst = append(dst, binary.LittleEndian.Uint32(c[headerSize+4*i:]))
-		}
-	case Delta:
-		v := c.First()
-		dst = append(dst, v)
-		i := headerSize
-		for k := 1; k < n; k++ {
-			var d uint32
-			d, i = uvarint(c, i)
-			v += d
-			dst = append(dst, v)
-		}
-	default:
-		panic("encoding: unknown codec")
-	}
+	ForEachIDs[struct{}](codec, c, func(x uint32) bool {
+		dst = append(dst, x)
+		return true
+	})
 	return dst
 }
 
 // ForEach calls f on each element of c in increasing order. If f returns
 // false iteration stops early.
 func (c Chunk) ForEach(codec Codec, f func(x uint32) bool) {
-	n := c.Count()
-	if n == 0 {
-		return
-	}
-	switch codec {
-	case Raw:
-		for i := 0; i < n; i++ {
-			if !f(binary.LittleEndian.Uint32(c[headerSize+4*i:])) {
-				return
-			}
-		}
-	case Delta:
-		v := c.First()
-		if !f(v) {
-			return
-		}
-		i := headerSize
-		for k := 1; k < n; k++ {
-			var d uint32
-			d, i = uvarint(c, i)
-			v += d
-			if !f(v) {
-				return
-			}
-		}
-	default:
-		panic("encoding: unknown codec")
-	}
+	ForEachIDs[struct{}](codec, c, f)
 }
 
 // Contains reports whether x is an element of c. O(1) rejection via the
 // header bounds, O(chunk) scan otherwise.
 func (c Chunk) Contains(codec Codec, x uint32) bool {
-	if c.Empty() || x < c.First() || x > c.Last() {
-		return false
-	}
-	found := false
-	c.ForEach(codec, func(e uint32) bool {
-		if e >= x {
-			found = e == x
-			return false
-		}
-		return true
-	})
-	return found
+	return ContainsKV[struct{}](codec, c, x)
 }
 
 // Split partitions c around k: left receives elements < k, right elements
-// > k, and found reports whether k was present. Cheap boundary cases (k
-// outside [First, Last]) avoid decoding entirely. Raw chunks binary-search
-// the payload in place and splice bytes; Delta chunks stream once through
-// the gap code. Neither path materializes a []uint32.
+// > k, and found reports whether k was present.
 func (c Chunk) Split(codec Codec, k uint32) (left Chunk, found bool, right Chunk) {
-	if c.Empty() {
-		return nil, false, nil
-	}
-	if k < c.First() {
-		return nil, false, c
-	}
-	if k > c.Last() {
-		return c, false, nil
-	}
-	if codec == Raw {
-		return c.splitRaw(k)
-	}
-	return c.splitDelta(k)
+	l, _, f, r := SplitKV[struct{}](codec, c, k)
+	return l, f, r
 }
 
-// splitDelta splits a Delta chunk around k (which is within header bounds)
-// with a single forward scan and two byte copies — no re-encoding. The left
-// half's payload is a byte-prefix of c's payload (gaps between the kept
-// elements are unchanged) and the right half's payload is a byte-suffix
-// (ditto), so only the 12-byte headers need rewriting.
-func (c Chunk) splitDelta(k uint32) (left Chunk, found bool, right Chunk) {
-	n := c.Count()
-	v := c.First()
-	off := headerSize // offset of the gap following v
-	i := 0            // index of v
-	gapStart := headerSize
-	var pv uint32 // elems[i-1], valid once i > 0
-	for v < k {
-		// k <= Last() guarantees another element exists.
-		pv = v
-		gapStart = off
-		d, noff := uvarint(c, off)
-		v += d
-		off = noff
-		i++
-	}
-	// v == elems[i] is the first element >= k; gapStart is where its gap
-	// varint begins.
-	if i > 0 {
-		left = make(Chunk, gapStart)
-		copy(left, c[:gapStart])
-		binary.LittleEndian.PutUint32(left[0:4], uint32(i))
-		binary.LittleEndian.PutUint32(left[8:12], pv)
-	}
-	if v == k {
-		found = true
-		if i+1 < n {
-			d, noff := uvarint(c, off)
-			right = make(Chunk, headerSize+len(c)-noff)
-			copy(right[headerSize:], c[noff:])
-			binary.LittleEndian.PutUint32(right[0:4], uint32(n-i-1))
-			binary.LittleEndian.PutUint32(right[4:8], v+d)
-			binary.LittleEndian.PutUint32(right[8:12], c.Last())
-		}
-		return left, true, right
-	}
-	right = make(Chunk, headerSize+len(c)-off)
-	copy(right[headerSize:], c[off:])
-	binary.LittleEndian.PutUint32(right[0:4], uint32(n-i))
-	binary.LittleEndian.PutUint32(right[4:8], v)
-	binary.LittleEndian.PutUint32(right[8:12], c.Last())
-	return left, false, right
-}
-
-// splitRaw splits a Raw chunk around k (which is within header bounds) by
-// binary search over the fixed-width payload, copying each half byte-wise.
-func (c Chunk) splitRaw(k uint32) (left Chunk, found bool, right Chunk) {
-	n := c.Count()
-	word := func(i int) uint32 { return binary.LittleEndian.Uint32(c[headerSize+4*i:]) }
-	// First index with element >= k.
-	lo, hi := 0, n
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if word(mid) < k {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	i := lo
-	found = i < n && word(i) == k
-	j := i
-	if found {
-		j++
-	}
-	if i > 0 {
-		left = make(Chunk, headerSize+4*i)
-		copy(left[headerSize:], c[headerSize+0:headerSize+4*i])
-		binary.LittleEndian.PutUint32(left[0:4], uint32(i))
-		binary.LittleEndian.PutUint32(left[4:8], c.First())
-		binary.LittleEndian.PutUint32(left[8:12], word(i-1))
-	}
-	if j < n {
-		right = make(Chunk, headerSize+4*(n-j))
-		copy(right[headerSize:], c[headerSize+4*j:])
-		binary.LittleEndian.PutUint32(right[0:4], uint32(n-j))
-		binary.LittleEndian.PutUint32(right[4:8], word(j))
-		binary.LittleEndian.PutUint32(right[8:12], c.Last())
-	}
-	return left, found, right
-}
-
-// Union merges two chunks (duplicates combined) into a new chunk via a
-// streaming two-pointer merge: one allocation (the result), no intermediate
-// decode.
+// Union merges two id-only chunks (duplicates combined) into a new chunk.
 func Union(codec Codec, a, b Chunk) Chunk {
-	if a.Empty() {
-		return b
-	}
-	if b.Empty() {
-		return a
-	}
-	// Fast path: disjoint ranges concatenate payload bytes without decoding
-	// a single element.
-	if a.Last() < b.First() {
-		return concatDisjoint(codec, a, b)
-	}
-	if b.Last() < a.First() {
-		return concatDisjoint(codec, b, a)
-	}
-	ai, bi := NewIter(codec, a), NewIter(codec, b)
-	out := NewBuilder(codec)
-	defer out.Release()
-	for ai.Valid() && bi.Valid() {
-		av, bv := ai.Value(), bi.Value()
-		switch {
-		case av < bv:
-			out.Append(av)
-			ai.Next()
-		case av > bv:
-			out.Append(bv)
-			bi.Next()
-		default:
-			out.Append(av)
-			ai.Next()
-			bi.Next()
-		}
-	}
-	ai.AppendRemaining(&out)
-	bi.AppendRemaining(&out)
-	return out.Chunk()
+	return UnionKV[struct{}](codec, a, b, nil)
 }
 
-// Difference returns the elements of a not present in b, as a streaming
-// two-pointer merge.
+// Difference returns the elements of a not present in b.
 func Difference(codec Codec, a, b Chunk) Chunk {
-	if a.Empty() || b.Empty() {
-		return a
-	}
-	if b.Last() < a.First() || b.First() > a.Last() {
-		return a
-	}
-	ai, bi := NewIter(codec, a), NewIter(codec, b)
-	out := NewBuilder(codec)
-	defer out.Release()
-	for ai.Valid() {
-		av := ai.Value()
-		for bi.Valid() && bi.Value() < av {
-			bi.Next()
-		}
-		if !bi.Valid() {
-			// b exhausted: the rest of a survives verbatim.
-			ai.AppendRemaining(&out)
-			break
-		}
-		if bi.Value() == av {
-			ai.Next()
-			continue
-		}
-		out.Append(av)
-		ai.Next()
-	}
-	return out.Chunk()
+	return DifferenceKV[struct{}](codec, a, b)
 }
 
-// Intersect returns the elements common to a and b, as a streaming
-// two-pointer merge.
+// Intersect returns the elements common to a and b.
 func Intersect(codec Codec, a, b Chunk) Chunk {
-	if a.Empty() || b.Empty() {
-		return nil
-	}
-	if b.Last() < a.First() || b.First() > a.Last() {
-		return nil
-	}
-	ai, bi := NewIter(codec, a), NewIter(codec, b)
-	out := NewBuilder(codec)
-	defer out.Release()
-	for ai.Valid() && bi.Valid() {
-		av, bv := ai.Value(), bi.Value()
-		switch {
-		case av < bv:
-			ai.Next()
-		case av > bv:
-			bi.Next()
-		default:
-			out.Append(av)
-			ai.Next()
-			bi.Next()
-		}
-	}
-	return out.Chunk()
+	return IntersectKV[struct{}](codec, a, b, nil)
 }
 
-// Insert returns a chunk with x added (no-op if already present). The new
-// chunk is re-encoded in one streaming pass over pooled scratch.
+// Insert returns a chunk with x added (no-op if already present).
 func (c Chunk) Insert(codec Codec, x uint32) Chunk {
-	if c.Empty() {
-		out := NewBuilder(codec)
-		defer out.Release()
-		out.Append(x)
-		return out.Chunk()
-	}
-	if c.Contains(codec, x) {
-		return c
-	}
-	if x > c.Last() {
-		// Appending past the end is a disjoint concatenation of c and {x}.
-		one := NewBuilder(codec)
-		defer one.Release()
-		one.Append(x)
-		return concatDisjoint(codec, c, one.Chunk())
-	}
-	out := NewBuilder(codec)
-	defer out.Release()
-	placed := false
-	for it := NewIter(codec, c); it.Valid(); it.Next() {
-		v := it.Value()
-		if !placed && x < v {
-			out.Append(x)
-			placed = true
-		}
-		out.Append(v)
-	}
-	return out.Chunk()
+	return InsertKV[struct{}](codec, c, x, struct{}{}, false)
 }
 
-// Remove returns a chunk with x removed (no-op if absent). One streaming
-// pass over pooled scratch.
+// Remove returns a chunk with x removed (no-op if absent).
 func (c Chunk) Remove(codec Codec, x uint32) Chunk {
-	if c.Empty() || x < c.First() || x > c.Last() {
-		return c
-	}
-	if !c.Contains(codec, x) {
-		return c
-	}
-	out := NewBuilder(codec)
-	defer out.Release()
-	for it := NewIter(codec, c); it.Valid(); it.Next() {
-		if v := it.Value(); v != x {
-			out.Append(v)
-		}
-	}
-	return out.Chunk()
+	return RemoveKV[struct{}](codec, c, x)
 }

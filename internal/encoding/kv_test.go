@@ -1,0 +1,305 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xhash"
+)
+
+// Tests of the payload-aware (KV) chunk core at V = float32, cross-checked
+// against map references. The id-only behavior is covered transitively: the
+// whole unweighted test suite runs through the same generic code at
+// V = struct{}.
+
+// weightOf derives a deterministic per-id weight.
+func weightOf(x uint32) float32 {
+	return float32(xhash.Mix32(x)%1000) / 8
+}
+
+func weightsFor(ids []uint32) []float32 {
+	ws := make([]float32, len(ids))
+	for i, x := range ids {
+		ws[i] = weightOf(x)
+	}
+	return ws
+}
+
+func encodeW(codec Codec, ids []uint32) Chunk {
+	return EncodeKV(codec, ids, weightsFor(ids))
+}
+
+func pairsOf(codec Codec, c Chunk) map[uint32]float32 {
+	m := map[uint32]float32{}
+	ForEachKV(codec, c, func(x uint32, v float32) bool {
+		m[x] = v
+		return true
+	})
+	return m
+}
+
+func TestKVEncodeDecodeRoundTrip(t *testing.T) {
+	for _, codec := range codecs {
+		if err := quick.Check(func(seed uint64) bool {
+			ids := randomSorted(seed, 200)
+			c := encodeW(codec, ids)
+			gotIDs, gotVals := DecodeKV[float32](codec, c, nil, nil)
+			if !equal(gotIDs, ids) || len(gotVals) != len(ids) {
+				return false
+			}
+			for i, x := range ids {
+				if gotVals[i] != weightOf(x) {
+					return false
+				}
+			}
+			if len(ids) == 0 {
+				return c.Empty()
+			}
+			return c.Count() == len(ids) && c.First() == ids[0] && c.Last() == ids[len(ids)-1]
+		}, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+	}
+}
+
+func TestKVZeroWidthMatchesUnweightedBytes(t *testing.T) {
+	// The struct{} instantiation must be byte-identical to the id-only
+	// format: that is what makes the unweighted wrappers free.
+	for _, codec := range codecs {
+		for seed := uint64(0); seed < 50; seed++ {
+			ids := randomSorted(seed, 300)
+			a := Encode(codec, ids)
+			b := EncodeKV[struct{}](codec, ids, nil)
+			if len(a) != len(b) {
+				t.Fatalf("codec %v: len %d != %d", codec, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("codec %v: byte %d differs", codec, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKVFind(t *testing.T) {
+	for _, codec := range codecs {
+		ids := []uint32{3, 10, 11, 500, 70_000}
+		c := encodeW(codec, ids)
+		for _, x := range ids {
+			if v, ok := FindKV[float32](codec, c, x); !ok || v != weightOf(x) {
+				t.Fatalf("codec %v: FindKV(%d) = %v,%v", codec, x, v, ok)
+			}
+		}
+		for _, x := range []uint32{0, 4, 499, 70_001} {
+			if _, ok := FindKV[float32](codec, c, x); ok {
+				t.Fatalf("codec %v: phantom %d", codec, x)
+			}
+		}
+	}
+}
+
+func TestKVSplitProperty(t *testing.T) {
+	for _, codec := range codecs {
+		if err := quick.Check(func(seed uint64, k uint32) bool {
+			ids := randomSorted(seed, 150)
+			k %= 700
+			c := encodeW(codec, ids)
+			l, fv, found, r := SplitKV[float32](codec, c, k)
+			lp, rp := pairsOf(codec, l), pairsOf(codec, r)
+			wantFound := false
+			for _, x := range ids {
+				switch {
+				case x < k:
+					if lp[x] != weightOf(x) {
+						return false
+					}
+					delete(lp, x)
+				case x > k:
+					if rp[x] != weightOf(x) {
+						return false
+					}
+					delete(rp, x)
+				default:
+					wantFound = true
+				}
+			}
+			if found != wantFound || len(lp) != 0 || len(rp) != 0 {
+				return false
+			}
+			return !found || fv == weightOf(k)
+		}, &quick.Config{MaxCount: 250}); err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+	}
+}
+
+func TestKVUnionMergePolicies(t *testing.T) {
+	for _, codec := range codecs {
+		a := EncodeKV(codec, []uint32{1, 2, 3}, []float32{10, 20, 30})
+		b := EncodeKV(codec, []uint32{2, 3, 4}, []float32{200, 300, 400})
+		// nil merge: b (the newer side) wins.
+		lww := pairsOf(codec, UnionKV[float32](codec, a, b, nil))
+		want := map[uint32]float32{1: 10, 2: 200, 3: 300, 4: 400}
+		for k, v := range want {
+			if lww[k] != v {
+				t.Fatalf("codec %v: lww[%d] = %v, want %v", codec, k, lww[k], v)
+			}
+		}
+		// explicit merge: keep the first side.
+		keepA := pairsOf(codec, UnionKV(codec, a, b, func(av, _ float32) float32 { return av }))
+		want = map[uint32]float32{1: 10, 2: 20, 3: 30, 4: 400}
+		for k, v := range want {
+			if keepA[k] != v {
+				t.Fatalf("codec %v: keepA[%d] = %v, want %v", codec, k, keepA[k], v)
+			}
+		}
+	}
+}
+
+func TestKVSetOpsMatchReference(t *testing.T) {
+	for _, codec := range codecs {
+		if err := quick.Check(func(s1, s2 uint64) bool {
+			ia, ib := randomSorted(s1, 250), randomSorted(s2, 250)
+			// Give the two sides distinguishable weights to catch
+			// wrong-side value leaks.
+			va, vb := make([]float32, len(ia)), make([]float32, len(ib))
+			for i, x := range ia {
+				va[i] = float32(x) + 0.25
+			}
+			for i, x := range ib {
+				vb[i] = float32(x) + 0.75
+			}
+			a, b := EncodeKV(codec, ia, va), EncodeKV(codec, ib, vb)
+			inA, inB := map[uint32]bool{}, map[uint32]bool{}
+			for _, x := range ia {
+				inA[x] = true
+			}
+			for _, x := range ib {
+				inB[x] = true
+			}
+
+			u := pairsOf(codec, UnionKV[float32](codec, a, b, nil))
+			d := pairsOf(codec, DifferenceKV[float32](codec, a, b))
+			in := pairsOf(codec, IntersectKV[float32](codec, a, b, nil))
+			for x := uint32(0); x < 1100; x++ {
+				switch {
+				case inA[x] && inB[x]:
+					if u[x] != float32(x)+0.75 || in[x] != float32(x)+0.25 {
+						return false
+					}
+					if _, ok := d[x]; ok {
+						return false
+					}
+				case inA[x]:
+					if u[x] != float32(x)+0.25 || d[x] != float32(x)+0.25 {
+						return false
+					}
+					if _, ok := in[x]; ok {
+						return false
+					}
+				case inB[x]:
+					if u[x] != float32(x)+0.75 {
+						return false
+					}
+					if _, ok := d[x]; ok {
+						return false
+					}
+					if _, ok := in[x]; ok {
+						return false
+					}
+				default:
+					if _, ok := u[x]; ok {
+						return false
+					}
+				}
+			}
+			return len(u) == len(inA)+len(inB)-len(in)
+		}, &quick.Config{MaxCount: 120}); err != nil {
+			t.Fatalf("codec %v: %v", codec, err)
+		}
+	}
+}
+
+func TestKVInsertRemoveOverwrite(t *testing.T) {
+	for _, codec := range codecs {
+		var c Chunk
+		c = InsertKV(codec, c, 10, float32(1), false)
+		c = InsertKV(codec, c, 5, float32(2), false)
+		c = InsertKV(codec, c, 20, float32(3), false)
+		c = InsertKV(codec, c, 10, float32(99), false) // present, no overwrite
+		if v, _ := FindKV[float32](codec, c, 10); v != 1 {
+			t.Fatalf("codec %v: no-overwrite insert changed value to %v", codec, v)
+		}
+		c = InsertKV(codec, c, 10, float32(42), true) // overwrite
+		if v, _ := FindKV[float32](codec, c, 10); v != 42 {
+			t.Fatalf("codec %v: overwrite did not stick: %v", codec, v)
+		}
+		got := pairsOf(codec, c)
+		want := map[uint32]float32{5: 2, 10: 42, 20: 3}
+		if len(got) != len(want) {
+			t.Fatalf("codec %v: %v", codec, got)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("codec %v: got[%d] = %v want %v", codec, k, got[k], v)
+			}
+		}
+		c = RemoveKV[float32](codec, c, 10)
+		if _, ok := FindKV[float32](codec, c, 10); ok || c.Count() != 2 {
+			t.Fatalf("codec %v: remove failed", codec)
+		}
+	}
+}
+
+func TestKVDisjointConcatRoundTrip(t *testing.T) {
+	for _, codec := range codecs {
+		a := EncodeKV(codec, []uint32{1, 3, 7}, []float32{1, 3, 7})
+		b := EncodeKV(codec, []uint32{100, 101}, []float32{100, 101})
+		u := pairsOf(codec, UnionKV[float32](codec, a, b, nil))
+		for _, x := range []uint32{1, 3, 7, 100, 101} {
+			if u[x] != float32(x) {
+				t.Fatalf("codec %v: concat lost value of %d: %v", codec, x, u[x])
+			}
+		}
+	}
+}
+
+// TestKVUnionAllocBound is the weighted analogue of the unweighted chunk
+// alloc regressions: the payload must not reintroduce per-element
+// allocations.
+func TestKVUnionAllocBound(t *testing.T) {
+	for _, codec := range codecs {
+		ia := make([]uint32, 256)
+		ib := make([]uint32, 256)
+		for i := range ia {
+			ia[i] = 3 * uint32(i)
+			ib[i] = 3*uint32(i) + 1
+		}
+		a, b := encodeW(codec, ia), encodeW(codec, ib)
+		UnionKV[float32](codec, a, b, nil) // warm the builder pool
+		if n := testing.AllocsPerRun(100, func() {
+			UnionKV[float32](codec, a, b, nil)
+		}); n > 2 {
+			t.Errorf("codec %v: weighted Union allocated %.1f/op, want <= 2", codec, n)
+		}
+	}
+}
+
+func TestKVIterAllocFree(t *testing.T) {
+	for _, codec := range codecs {
+		ids := make([]uint32, 256)
+		for i := range ids {
+			ids[i] = 2 * uint32(i)
+		}
+		c := encodeW(codec, ids)
+		var sum float32
+		if n := testing.AllocsPerRun(100, func() {
+			for it := NewIterKV[float32](codec, c); it.Valid(); it.Next() {
+				sum += it.Payload()
+			}
+		}); n != 0 {
+			t.Errorf("codec %v: weighted Iter allocated %.1f/op, want 0", codec, n)
+		}
+	}
+}

@@ -89,18 +89,18 @@ func adversarialPairs() [][2][]uint32 {
 		{nil, nil},
 		{seq(0, 50, 1), nil},
 		{nil, seq(0, 50, 1)},
-		{seq(0, 100, 1), seq(1000, 100, 1)},    // disjoint, a before b
-		{seq(1000, 100, 1), seq(0, 100, 1)},    // disjoint, b before a
-		{seq(0, 100, 1), seq(100, 100, 1)},     // adjacent ranges
-		{seq(0, 100, 2), seq(1, 100, 2)},       // perfectly interleaved
-		{seq(0, 100, 1), seq(0, 100, 1)},       // identical
-		{seq(0, 100, 1), seq(20, 30, 1)},       // b inside a
-		{seq(20, 30, 1), seq(0, 100, 1)},       // a inside b
-		{{5}, seq(0, 10, 1)},                   // singleton inside
-		{{42}, {42}},                           // equal singletons
-		{{0}, {^uint32(0)}},                    // extreme bounds
-		{seq(0, 300, 3), seq(0, 300, 7)},       // periodic overlap
-		{seq(0, 1000, 1), seq(999, 1000, 1)},   // one-element overlap
+		{seq(0, 100, 1), seq(1000, 100, 1)},  // disjoint, a before b
+		{seq(1000, 100, 1), seq(0, 100, 1)},  // disjoint, b before a
+		{seq(0, 100, 1), seq(100, 100, 1)},   // adjacent ranges
+		{seq(0, 100, 2), seq(1, 100, 2)},     // perfectly interleaved
+		{seq(0, 100, 1), seq(0, 100, 1)},     // identical
+		{seq(0, 100, 1), seq(20, 30, 1)},     // b inside a
+		{seq(20, 30, 1), seq(0, 100, 1)},     // a inside b
+		{{5}, seq(0, 10, 1)},                 // singleton inside
+		{{42}, {42}},                         // equal singletons
+		{{0}, {^uint32(0)}},                  // extreme bounds
+		{seq(0, 300, 3), seq(0, 300, 7)},     // periodic overlap
+		{seq(0, 1000, 1), seq(999, 1000, 1)}, // one-element overlap
 	}
 }
 

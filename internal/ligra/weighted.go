@@ -1,0 +1,117 @@
+package ligra
+
+import (
+	"sync/atomic"
+
+	"repro/internal/parallel"
+)
+
+// WeightedGraph is the optional weighted-traversal capability: engines
+// whose adjacency carries per-edge weights (aspen.WeightedGraph's
+// compressed float32 payload) expose them to the algorithm layer through
+// ForEachNeighborW, and weighted algorithms (SSSP and friends) run over
+// WeightedEdgeMap exactly as their unweighted counterparts run over
+// EdgeMap.
+type WeightedGraph interface {
+	Graph
+	// ForEachNeighborW applies f to u's (neighbor, weight) pairs in
+	// increasing neighbor order until f returns false.
+	ForEachNeighborW(u uint32, f func(v uint32, w float32) bool)
+}
+
+// WeightedEdgeMap applies F over weighted edges (u, v, w) with u in subset
+// U and C(v) true, and returns the subset of targets v for which F returned
+// true. The contract mirrors EdgeMap (§2): F must be safe for concurrent
+// calls and should claim each target atomically if it must fire once per
+// vertex. Direction optimization (§5.1) picks a dense, in-neighbor oriented
+// traversal when the frontier is large; weights are symmetric on the
+// symmetrized inputs this repository uses, so the pulled weight equals the
+// pushed one.
+func WeightedEdgeMap(g WeightedGraph, u VertexSubset, f func(src, dst uint32, w float32) bool, c func(v uint32) bool, opts EdgeMapOpts) VertexSubset {
+	if u.IsEmpty() {
+		return Empty(u.n)
+	}
+	div := opts.DenseThresholdDiv
+	if div == 0 {
+		div = 20
+	}
+	if !opts.NoDense {
+		sp := u.ToSparse()
+		outDeg := parallel.ReduceUint64(len(sp.sparse), 0,
+			func(i int) uint64 { return uint64(g.Degree(sp.sparse[i])) },
+			func(a, b uint64) uint64 { return a + b })
+		if uint64(u.Size())+outDeg > g.NumEdges()/div {
+			return weightedEdgeMapDense(g, u, f, c)
+		}
+		u = sp
+	}
+	return weightedEdgeMapSparse(g, u.ToSparse(), f, c)
+}
+
+// weightedEdgeMapSparse maps over the out-edges of the frontier, collecting
+// targets.
+func weightedEdgeMapSparse(g WeightedGraph, u VertexSubset, f func(src, dst uint32, w float32) bool, c func(v uint32) bool) VertexSubset {
+	src := u.sparse
+	nb := parallel.Procs * 4
+	if nb > len(src) {
+		nb = len(src)
+	}
+	if nb == 0 {
+		return Empty(u.n)
+	}
+	buffers := make([][]uint32, nb)
+	sz := (len(src) + nb - 1) / nb
+	parallel.ForGrain(nb, 1, func(b int) {
+		lo, hi := b*sz, (b+1)*sz
+		if hi > len(src) {
+			hi = len(src)
+		}
+		if lo >= hi {
+			return
+		}
+		var buf []uint32
+		for _, s := range src[lo:hi] {
+			g.ForEachNeighborW(s, func(v uint32, w float32) bool {
+				if c(v) && f(s, v, w) {
+					buf = append(buf, v)
+				}
+				return true
+			})
+		}
+		buffers[b] = buf
+	})
+	total := 0
+	for _, b := range buffers {
+		total += len(b)
+	}
+	out := make([]uint32, 0, total)
+	for _, b := range buffers {
+		out = append(out, b...)
+	}
+	return FromSparse(u.n, out)
+}
+
+// weightedEdgeMapDense scans all vertices v with C(v) true and pulls from
+// their in-neighbors (== neighbors on symmetric graphs), stopping early
+// once C(v) turns false.
+func weightedEdgeMapDense(g WeightedGraph, u VertexSubset, f func(src, dst uint32, w float32) bool, c func(v uint32) bool) VertexSubset {
+	ud := u.ToDense()
+	out := make([]bool, ud.n)
+	var count atomic.Int64
+	parallel.ForGrain(ud.n, 256, func(i int) {
+		v := uint32(i)
+		if !c(v) {
+			return
+		}
+		g.ForEachNeighborW(v, func(s uint32, w float32) bool {
+			if ud.dense[s] && f(s, v, w) {
+				if !out[v] {
+					out[v] = true
+					count.Add(1)
+				}
+			}
+			return c(v)
+		})
+	})
+	return FromDense(out, int(count.Load()))
+}

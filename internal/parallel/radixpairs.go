@@ -1,0 +1,154 @@
+package parallel
+
+import "sort"
+
+// This file extends the parallel LSD radix sort of radix.go to key/payload
+// pairs: the payload array is permuted in lockstep with the keys. It is the
+// sort under weighted batch updates, where each packed (src<<32 | dst) key
+// carries its edge weight. Passes are stable, so equal keys keep their
+// input order — which is what lets a keep-last dedup implement
+// last-writer-wins in batch order.
+
+// RadixSortUint64Pairs sorts keys in ascending order with a parallel LSD
+// radix sort, permuting vals identically. len(vals) must equal len(keys).
+// Stable: equal keys retain their relative input order.
+func RadixSortUint64Pairs[P any](keys []uint64, vals []P) {
+	n := len(keys)
+	if len(vals) != n {
+		panic("parallel: keys/vals length mismatch")
+	}
+	if n < radixMinLen {
+		sortPairsStable(keys, vals)
+		return
+	}
+	orDiff := orDiffOf(keys)
+	if orDiff == 0 {
+		return // all keys equal
+	}
+	kbuf := make([]uint64, n)
+	vbuf := make([]P, n)
+	ksrc, kdst := keys, kbuf
+	vsrc, vdst := vals, vbuf
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(pass * radixBits)
+		if (orDiff>>shift)&(radixBuckets-1) == 0 {
+			continue
+		}
+		radixPassPairs(ksrc, kdst, vsrc, vdst, shift)
+		ksrc, kdst = kdst, ksrc
+		vsrc, vdst = vdst, vsrc
+	}
+	if &ksrc[0] != &keys[0] {
+		copy(keys, ksrc)
+		copy(vals, vsrc)
+	}
+}
+
+// sortPairsStable is the small-input fallback: a stable comparison sort
+// over the pair view.
+func sortPairsStable[P any](keys []uint64, vals []P) {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	kout := make([]uint64, len(keys))
+	vout := make([]P, len(vals))
+	for i, j := range idx {
+		kout[i] = keys[j]
+		vout[i] = vals[j]
+	}
+	copy(keys, kout)
+	copy(vals, vout)
+}
+
+// radixPassPairs is radixPass carrying a payload: one stable counting-sort
+// pass on the byte at shift, scattering (key, val) from src into dst.
+func radixPassPairs[P any](ksrc, kdst []uint64, vsrc, vdst []P, shift uint) {
+	n := len(ksrc)
+	if Procs <= 1 || n < radixParLen {
+		var cnt [radixBuckets]int
+		for _, x := range ksrc {
+			cnt[uint8(x>>shift)]++
+		}
+		s := 0
+		for d := range cnt {
+			c := cnt[d]
+			cnt[d] = s
+			s += c
+		}
+		for i, x := range ksrc {
+			d := uint8(x >> shift)
+			kdst[cnt[d]] = x
+			vdst[cnt[d]] = vsrc[i]
+			cnt[d]++
+		}
+		return
+	}
+	p := Procs
+	sz := (n + p - 1) / p
+	counts := make([]int, p*radixBuckets)
+	ForGrain(p, 1, func(w int) {
+		lo, hi := w*sz, (w+1)*sz
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			return
+		}
+		cnt := counts[w*radixBuckets : (w+1)*radixBuckets]
+		for _, x := range ksrc[lo:hi] {
+			cnt[uint8(x>>shift)]++
+		}
+	})
+	// Exclusive scan in (digit, worker) order — see radixPass for why this
+	// preserves stability.
+	s := 0
+	for d := 0; d < radixBuckets; d++ {
+		for w := 0; w < p; w++ {
+			i := w*radixBuckets + d
+			c := counts[i]
+			counts[i] = s
+			s += c
+		}
+	}
+	ForGrain(p, 1, func(w int) {
+		lo, hi := w*sz, (w+1)*sz
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			return
+		}
+		off := counts[w*radixBuckets : (w+1)*radixBuckets]
+		for i := lo; i < hi; i++ {
+			x := ksrc[i]
+			d := uint8(x >> shift)
+			kdst[off[d]] = x
+			vdst[off[d]] = vsrc[i]
+			off[d]++
+		}
+	})
+}
+
+// DedupSortedUint64PairsLast removes duplicate keys from the sorted pair
+// arrays in place, keeping the LAST occurrence of each key (so a stable
+// sort followed by this implements last-writer-wins in input order).
+// Returns the truncated slices.
+func DedupSortedUint64PairsLast[P any](keys []uint64, vals []P) ([]uint64, []P) {
+	if len(keys) == 0 {
+		return keys, vals
+	}
+	w := 0
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[w] {
+			w++
+			keys[w] = keys[i]
+			vals[w] = vals[i]
+		} else {
+			// Same key: later entry wins.
+			vals[w] = vals[i]
+		}
+	}
+	return keys[:w+1], vals[:w+1]
+}

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/xhash"
+)
+
+func TestRadixSortPairsMatchesReference(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 10, radixMinLen - 1, radixMinLen + 1, 10_000, radixParLen + 5} {
+		r := xhash.NewRNG(uint64(n) + 3)
+		keys := make([]uint64, n)
+		vals := make([]float32, n)
+		for i := range keys {
+			keys[i] = uint64(r.Uint32() % 5000) // many duplicates
+			vals[i] = float32(i)                // input position as payload
+		}
+		type pair struct {
+			k   uint64
+			pos int
+		}
+		ref := make([]pair, n)
+		for i := range ref {
+			ref[i] = pair{keys[i], i}
+		}
+		sort.SliceStable(ref, func(a, b int) bool { return ref[a].k < ref[b].k })
+
+		RadixSortUint64Pairs(keys, vals)
+		for i := range keys {
+			if keys[i] != ref[i].k {
+				t.Fatalf("n=%d: keys[%d] = %d, want %d", n, i, keys[i], ref[i].k)
+			}
+			if vals[i] != float32(ref[i].pos) {
+				t.Fatalf("n=%d: payload not permuted stably at %d: got %v want %v",
+					n, i, vals[i], float32(ref[i].pos))
+			}
+		}
+	}
+}
+
+func TestRadixSortPairsAllEqualKeys(t *testing.T) {
+	keys := make([]uint64, 2000)
+	vals := make([]int, 2000)
+	for i := range keys {
+		keys[i] = 42
+		vals[i] = i
+	}
+	RadixSortUint64Pairs(keys, vals)
+	for i := range vals {
+		if vals[i] != i {
+			t.Fatalf("equal-key input not left stable at %d", i)
+		}
+	}
+}
+
+func TestDedupSortedPairsLast(t *testing.T) {
+	keys := []uint64{1, 1, 2, 3, 3, 3, 9}
+	vals := []string{"a", "b", "c", "d", "e", "f", "g"}
+	k, v := DedupSortedUint64PairsLast(keys, vals)
+	wantK := []uint64{1, 2, 3, 9}
+	wantV := []string{"b", "c", "f", "g"}
+	if len(k) != len(wantK) {
+		t.Fatalf("len = %d", len(k))
+	}
+	for i := range wantK {
+		if k[i] != wantK[i] || v[i] != wantV[i] {
+			t.Fatalf("at %d: (%d, %s), want (%d, %s)", i, k[i], v[i], wantK[i], wantV[i])
+		}
+	}
+	if k2, v2 := DedupSortedUint64PairsLast([]uint64{}, []int{}); len(k2) != 0 || len(v2) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+// TestRadixSortPairsLWW pins the composed behavior batch updates rely on:
+// stable sort + keep-last dedup == last write in input order wins.
+func TestRadixSortPairsLWW(t *testing.T) {
+	r := xhash.NewRNG(77)
+	n := 30_000
+	keys := make([]uint64, n)
+	vals := make([]float32, n)
+	want := map[uint64]float32{}
+	for i := range keys {
+		k := uint64(r.Uint32() % 2000)
+		keys[i] = k
+		vals[i] = float32(r.Uint32() % 100_000)
+		want[k] = vals[i]
+	}
+	RadixSortUint64Pairs(keys, vals)
+	k, v := DedupSortedUint64PairsLast(keys, vals)
+	if len(k) != len(want) {
+		t.Fatalf("%d distinct keys, want %d", len(k), len(want))
+	}
+	for i := range k {
+		if v[i] != want[k[i]] {
+			t.Fatalf("key %d kept %v, want %v", k[i], v[i], want[k[i]])
+		}
+	}
+}

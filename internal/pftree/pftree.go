@@ -47,6 +47,17 @@ func (n *Node[K, V, A]) Size() int {
 	return int(n.size)
 }
 
+// AugOrZero returns the augmented value of the subtree at n, or the zero A
+// for nil — the allocation- and table-free form of Ops.AugOf for hot
+// aggregate queries.
+func (n *Node[K, V, A]) AugOrZero() A {
+	if n == nil {
+		var z A
+		return z
+	}
+	return n.aug
+}
+
 // Augment describes how augmented values are computed.
 type Augment[K, V, A any] struct {
 	// Zero is the augmented value of the empty tree.
