@@ -1,0 +1,338 @@
+// Command stream reproduces the paper's §7.8 experiment on the live-stream
+// engine: N reader goroutines issue analytics queries (BFS/CC/SSSP) against
+// pinned snapshots while a single writer sustains batched edge inserts and
+// deletes, reporting update throughput and p50/p95/p99 commit and query
+// latencies. Examples:
+//
+//	stream -scale 17 -init 1000000 -batch 5000 -readers 1,4,8 -duration 5s
+//	stream -weighted -algos bfs,sssp -readers 4
+//	stream -quick -json BENCH_pr3_stream.json -merge bench_snap.json
+//
+// With -json the results are written as a BENCH_*.json document; -merge
+// folds the "benchmarks" array of an existing snapshot (produced with
+// `cmd/benchdiff -out`) into the same file so one document carries both
+// the §7.8 reproduction and the CI-gated benchmark metrics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/aspen"
+	"repro/internal/ctree"
+	"repro/internal/rmat"
+	"repro/internal/stream"
+	"repro/internal/xhash"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 17, "log2 of the vertex-id space")
+		initE    = flag.Uint64("init", 1_000_000, "rMAT edges sampled for the initial graph")
+		batch    = flag.Uint64("batch", 5_000, "edges per update batch (before symmetrization)")
+		readers  = flag.String("readers", "1,4", "comma list of concurrent reader counts to sweep")
+		duration = flag.Duration("duration", 3*time.Second, "sustained load per run")
+		weighted = flag.Bool("weighted", false, "serve aspen.WeightedGraph instead of aspen.Graph")
+		algoList = flag.String("algos", "", "comma list of kernels: bfs,cc,sssp (default bfs,cc; bfs,sssp when -weighted)")
+		queueCap = flag.Int("queue", 256, "ingest queue capacity (batches)")
+		coalesce = flag.Int("coalesce", 32, "max batches folded into one commit")
+		isolate  = flag.Bool("isolate", true, "also run update-only and query-only baselines")
+		interval = flag.Duration("interval", 0, "pace the writer to one batch per interval (0 = saturate)")
+		quick    = flag.Bool("quick", false, "tiny smoke-test configuration")
+		jsonOut  = flag.String("json", "", "write results as a BENCH_*.json document")
+		mergeIn  = flag.String("merge", "", "snapshot file whose benchmarks array is merged into -json")
+		seed     = flag.Uint64("seed", 42, "rMAT stream seed")
+	)
+	flag.Parse()
+	if *quick {
+		// Shrink only the flags the user did not set explicitly.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		quickDefaults := []struct {
+			name  string
+			apply func()
+		}{
+			{"scale", func() { *scale = 12 }},
+			{"init", func() { *initE = 40_000 }},
+			{"batch", func() { *batch = 1_000 }},
+			{"duration", func() { *duration = 300 * time.Millisecond }},
+			{"readers", func() { *readers = "2" }},
+		}
+		for _, d := range quickDefaults {
+			if !set[d.name] {
+				d.apply()
+			}
+		}
+	}
+	if *algoList == "" {
+		if *weighted {
+			*algoList = "bfs,sssp"
+		} else {
+			*algoList = "bfs,cc"
+		}
+	}
+	readerCounts, err := parseInts(*readers)
+	if err != nil {
+		fatal("bad -readers: %v", err)
+	}
+	if *scale < 1 || *scale > 31 {
+		fatal("-scale must be in [1, 31] (vertex ids are uint32)")
+	}
+
+	cfg := config{
+		Scale: *scale, InitEdges: *initE, Batch: *batch, Weighted: *weighted,
+		Algos: *algoList, QueueCap: *queueCap, MaxCoalesce: *coalesce,
+		DurationNS: duration.Nanoseconds(), IntervalNS: interval.Nanoseconds(),
+		Seed: *seed, Procs: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("stream: scale=%d init=%d batch=%d weighted=%v algos=%s procs=%d\n",
+		*scale, *initE, *batch, *weighted, *algoList, cfg.Procs)
+
+	var runs []runResult
+	if *isolate {
+		runs = append(runs, oneRun(cfg, 0, "update-only", *duration, true))
+	}
+	for _, r := range readerCounts {
+		runs = append(runs, oneRun(cfg, r, fmt.Sprintf("%d readers", r), *duration, true))
+	}
+	if *isolate {
+		last := readerCounts[len(readerCounts)-1]
+		runs = append(runs, oneRun(cfg, last, fmt.Sprintf("query-only (%d readers)", last), *duration, false))
+	}
+
+	if *jsonOut != "" {
+		writeJSON(*jsonOut, *mergeIn, cfg, runs)
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// config records the experiment parameters in the JSON document.
+type config struct {
+	Scale       int    `json:"scale"`
+	InitEdges   uint64 `json:"init_edges"`
+	Batch       uint64 `json:"batch"`
+	Weighted    bool   `json:"weighted"`
+	Algos       string `json:"algos"`
+	QueueCap    int    `json:"queue_cap"`
+	MaxCoalesce int    `json:"max_coalesce"`
+	DurationNS  int64  `json:"duration_ns"`
+	IntervalNS  int64  `json:"interval_ns"`
+	Seed        uint64 `json:"seed"`
+	Procs       int    `json:"procs"`
+}
+
+type runResult struct {
+	Name   string        `json:"name"`
+	Report stream.Report `json:"report"`
+}
+
+// weightOf derives a deterministic non-negative weight for stream edge i.
+func weightOf(i uint64) float32 {
+	return 1 + float32(xhash.Mix64(i)%1000)/1000
+}
+
+// weightedBatch maps a directed edge range of the generator onto
+// symmetrized weighted updates.
+func weightedBatch(gen rmat.Generator, lo, hi uint64) []aspen.WeightedEdge {
+	es := gen.Edges(lo, hi)
+	out := make([]aspen.WeightedEdge, 0, 2*len(es))
+	for j, e := range es {
+		w := weightOf(lo + uint64(j))
+		out = append(out,
+			aspen.WeightedEdge{Src: e.Src, Dst: e.Dst, Weight: w},
+			aspen.WeightedEdge{Src: e.Dst, Dst: e.Src, Weight: w})
+	}
+	return out
+}
+
+// oneRun executes one run: combined writer+readers, update-only
+// (readers == 0), or query-only (withWriter == false, the isolated
+// query-latency baseline).
+func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bool) runResult {
+	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
+	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce}
+	var rep stream.Report
+	if cfg.Weighted {
+		g := aspen.NewWeightedGraph().InsertEdges(weightedBatch(gen, 0, cfg.InitEdges))
+		e := stream.NewWeightedEngine(g, opts)
+		w := stream.Workload[aspen.WeightedGraph, aspen.WeightedEdge]{
+			Engine:   e,
+			Readers:  readers,
+			Kernels:  weightedKernels(cfg),
+			Duration: d,
+			Interval: time.Duration(cfg.IntervalNS),
+		}
+		if withWriter {
+			w.NextBatch = stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
+				func(lo, hi uint64) []aspen.WeightedEdge { return weightedBatch(gen, lo, hi) })
+		}
+		rep = w.Run()
+		e.Close()
+	} else {
+		g := aspen.NewGraph(ctree.DefaultParams()).InsertEdges(aspen.MakeUndirected(gen.Edges(0, cfg.InitEdges)))
+		e := stream.NewGraphEngine(g, opts)
+		w := stream.Workload[aspen.Graph, aspen.Edge]{
+			Engine:   e,
+			Readers:  readers,
+			Kernels:  unweightedKernels(cfg),
+			Duration: d,
+			Interval: time.Duration(cfg.IntervalNS),
+		}
+		if withWriter {
+			w.NextBatch = stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
+				func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) })
+		}
+		rep = w.Run()
+		e.Close()
+	}
+	printRun(name, rep)
+	return runResult{Name: name, Report: rep}
+}
+
+// srcCycler varies kernel sources deterministically across calls; shared
+// by every reader goroutine, hence the atomic counter.
+func srcCycler(n uint32) func() uint32 {
+	var i atomic.Uint64
+	return func() uint32 {
+		return uint32(xhash.Seeded(13, i.Add(1)) % uint64(n))
+	}
+}
+
+func unweightedKernels(cfg config) []stream.Kernel[aspen.Graph] {
+	n := uint32(1) << cfg.Scale
+	var ks []stream.Kernel[aspen.Graph]
+	for _, a := range strings.Split(cfg.Algos, ",") {
+		switch strings.TrimSpace(a) {
+		case "bfs":
+			src := srcCycler(n)
+			ks = append(ks, stream.Kernel[aspen.Graph]{Name: "bfs", Run: func(g aspen.Graph) { algos.BFS(g, src(), false) }})
+		case "cc":
+			ks = append(ks, stream.Kernel[aspen.Graph]{Name: "cc", Run: func(g aspen.Graph) { algos.ConnectedComponents(g) }})
+		case "sssp":
+			fatal("sssp requires -weighted")
+		default:
+			fatal("unknown algo %q", a)
+		}
+	}
+	return ks
+}
+
+func weightedKernels(cfg config) []stream.Kernel[aspen.WeightedGraph] {
+	n := uint32(1) << cfg.Scale
+	var ks []stream.Kernel[aspen.WeightedGraph]
+	for _, a := range strings.Split(cfg.Algos, ",") {
+		switch strings.TrimSpace(a) {
+		case "bfs":
+			src := srcCycler(n)
+			ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "bfs", Run: func(g aspen.WeightedGraph) { algos.BFS(g, src(), false) }})
+		case "cc":
+			ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "cc", Run: func(g aspen.WeightedGraph) { algos.ConnectedComponents(g) }})
+		case "sssp":
+			src := srcCycler(n)
+			ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "sssp", Run: func(g aspen.WeightedGraph) { algos.SSSP(g, src()) }})
+		default:
+			fatal("unknown algo %q", a)
+		}
+	}
+	return ks
+}
+
+func printRun(name string, r stream.Report) {
+	fmt.Printf("\n== %s ==\n", name)
+	if r.Updates > 0 {
+		fmt.Printf("updates: %.3g edges/sec (%d edges, %d batches, %d commits, coalesce %.2f)\n",
+			r.UpdatesPerSec, r.Updates, r.Batches, r.Commits, r.Coalesce)
+		fmt.Printf("commit latency:  p50 %-10v p95 %-10v p99 %-10v max %v\n",
+			r.Commit.P50, r.Commit.P95, r.Commit.P99, r.Commit.Max)
+	}
+	if r.Queries > 0 {
+		fmt.Printf("queries: %.1f/sec across %d readers\n", r.QueriesPerSec, r.Readers)
+		fmt.Printf("query latency:   p50 %-10v p95 %-10v p99 %-10v max %v\n",
+			r.Query.P50, r.Query.P95, r.Query.P99, r.Query.Max)
+		for _, k := range r.PerKernel {
+			fmt.Printf("  %-5s          p50 %-10v p95 %-10v p99 %-10v (%d runs)\n",
+				k.Name, k.Latency.P50, k.Latency.P95, k.Latency.P99, k.Latency.Count)
+		}
+	}
+	fmt.Printf("versions: %d published, %d retired+released, %d live\n",
+		r.FinalStamp, r.RetiredVersions, r.LiveVersions)
+}
+
+// benchDoc is the on-disk BENCH_*.json shape: the benchdiff snapshot
+// fields plus the §7.8 experiment payload (benchdiff ignores the extras).
+type benchDoc struct {
+	Tag         string          `json:"tag"`
+	Description string          `json:"description"`
+	Machine     string          `json:"machine,omitempty"`
+	Benchmarks  json.RawMessage `json:"benchmarks"`
+	Stream      streamDoc       `json:"stream_experiment"`
+}
+
+type streamDoc struct {
+	Config config      `json:"config"`
+	Runs   []runResult `json:"runs"`
+}
+
+func writeJSON(path, mergePath string, cfg config, runs []runResult) {
+	doc := benchDoc{
+		Tag: "pr3_stream",
+		Description: "Live-stream engine §7.8 reproduction: concurrent readers + single writer " +
+			"over epoch-refcounted snapshots; benchmarks array gates allocs in CI via cmd/benchdiff.",
+		Machine:    runtime.GOOS + "/" + runtime.GOARCH,
+		Benchmarks: json.RawMessage("[]"),
+		Stream:     streamDoc{Config: cfg, Runs: runs},
+	}
+	if mergePath != "" {
+		raw, err := os.ReadFile(mergePath)
+		if err != nil {
+			fatal("-merge: %v", err)
+		}
+		var snap struct {
+			Benchmarks json.RawMessage `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			fatal("-merge: %v", err)
+		}
+		if len(snap.Benchmarks) > 0 {
+			doc.Benchmarks = snap.Benchmarks
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative count %d", n)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "stream: "+format+"\n", args...)
+	os.Exit(1)
+}

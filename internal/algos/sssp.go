@@ -55,21 +55,34 @@ func SSSP(g ligra.WeightedGraph, src uint32) []float32 {
 		return out
 	}
 	dist[src].Store(0)
-	// claimed dedupes frontier membership within a round; reset lazily via
-	// the produced frontier.
-	claimed := make([]atomic.Bool, n)
+	// visited dedupes frontier membership within a round by stamping each
+	// claimed vertex with the round number: a vertex joins round r's output
+	// frontier on the first successful CAS from a stale stamp to r. Stamps
+	// from earlier rounds are simply stale, so no per-round reset pass is
+	// needed (ROADMAP (f): this drops the VertexMap reset from the hot
+	// loop). Stamp 0 means "never claimed"; rounds start at 1.
+	visited := make([]atomic.Uint32, n)
+	round := uint32(0)
 	frontier := ligra.FromVertex(n, src)
 	relax := func(s, d uint32, w float32) bool {
 		nd := math.Float32frombits(dist[s].Load()) + w
 		if writeMinF32(&dist[d], nd) {
-			return claimed[d].CompareAndSwap(false, true)
+			for {
+				cur := visited[d].Load()
+				if cur == round {
+					return false
+				}
+				if visited[d].CompareAndSwap(cur, round) {
+					return true
+				}
+			}
 		}
 		return false
 	}
 	cond := func(uint32) bool { return true }
 	for rounds := 0; !frontier.IsEmpty() && rounds < n; rounds++ {
+		round++
 		frontier = ligra.WeightedEdgeMap(g, frontier, relax, cond, ligra.EdgeMapOpts{})
-		ligra.VertexMap(frontier, func(v uint32) { claimed[v].Store(false) })
 	}
 	for i := range out {
 		out[i] = math.Float32frombits(dist[i].Load())

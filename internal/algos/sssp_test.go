@@ -109,6 +109,27 @@ func TestSSSPSmallHandmade(t *testing.T) {
 	}
 }
 
+// TestSSSPStampReclaim exercises the stamp-based visited array across many
+// rounds: a long unit-weight chain forces one round per hop, and a heavy
+// shortcut to the chain's tail makes the tail claimed in round 1 and then
+// re-claimed (improved) in the final round — a CAS from a stale stamp many
+// epochs old.
+func TestSSSPStampReclaim(t *testing.T) {
+	const k = 200
+	var edges []aspen.WeightedEdge
+	for i := uint32(0); i < k; i++ {
+		edges = append(edges, aspen.WeightedEdge{Src: i, Dst: i + 1, Weight: 1})
+	}
+	edges = append(edges, aspen.WeightedEdge{Src: 0, Dst: k, Weight: 2 * k})
+	g := aspen.NewWeightedGraph().InsertEdges(aspen.MakeUndirectedWeighted(edges))
+	dist := SSSP(g, 0)
+	for i := uint32(0); i <= k; i++ {
+		if dist[i] != float32(i) {
+			t.Fatalf("dist[%d] = %v, want %d", i, dist[i], i)
+		}
+	}
+}
+
 func TestSSSPNoDenseMatchesDense(t *testing.T) {
 	// The direction-optimized and sparse-only traversals must agree; drive
 	// the dense path by querying a hub-heavy graph from the hub.

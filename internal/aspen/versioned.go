@@ -5,83 +5,172 @@ import (
 	"sync/atomic"
 )
 
-// VersionedGraph maintains the evolving graph as a sequence of immutable
-// versions, implementing the acquire / set / release interface of §6. Any
-// number of readers may acquire snapshots concurrently with a single writer;
-// no reader or writer ever blocks another reader. Writers are serialized by
-// an internal mutex, and every update becomes visible atomically, giving
+// Versioned maintains an evolving immutable value (a graph snapshot) as a
+// sequence of versions, implementing the acquire / set / release interface
+// of §6 generically: any purely-functional snapshot type works, and the
+// repository instantiates it for both Graph and WeightedGraph. Any number
+// of readers may acquire versions concurrently with a single writer; no
+// reader or writer ever blocks another reader. Writers are serialized by an
+// internal mutex, and every update becomes visible atomically, giving
 // strict serializability: queries observe exactly the prefix of updates
 // published before their acquire.
 //
-// In the paper, version reclamation needs a parallel reference-counting
-// garbage collector; in Go the runtime GC already reclaims unreachable
-// versions, so the reference counts here only feed the live-version
-// accounting that Release reports (the semantics of the interface are
-// preserved, the mechanism is the substitution documented in DESIGN.md).
-type VersionedGraph struct {
+// Version lifetime follows the paper's epoch discipline: each version
+// carries a reference count that starts at one (the store's own reference,
+// dropped when the version is superseded) and is incremented per acquire.
+// When the count of a superseded version drains to zero the version is
+// *retired*: the store drops its snapshot reference and invokes the retire
+// hook exactly once. In the paper, retirement feeds a parallel
+// reference-counting collector over tree nodes; here the Go runtime GC
+// reclaims the C-tree nodes the moment the retired version stops
+// referencing them (the mechanism substitution documented in DESIGN.md),
+// and the hook feeds live-version accounting and the stream engine's GC
+// telemetry.
+type Versioned[G any] struct {
 	writer sync.Mutex
-	cur    atomic.Pointer[Version]
+	cur    atomic.Pointer[Version[G]]
 	stamp  atomic.Uint64
+
+	// onRetire, if set, is called exactly once per version, after its last
+	// reference is dropped and its snapshot reference cleared. It must not
+	// be changed once readers or writers are running (set it right after
+	// construction). Called from whichever goroutine drops the last
+	// reference — keep it non-blocking.
+	onRetire func(stamp uint64)
+
+	live    atomic.Int64  // versions published and not yet retired
+	retired atomic.Uint64 // versions fully drained
 }
 
-// Version is an acquired snapshot. It stays valid until released; holding it
-// never blocks updates.
-type Version struct {
+// Version is an acquired snapshot of a Versioned store. It stays valid
+// until released; holding it never blocks updates. After the version is
+// retired (last reference dropped) the Graph field is cleared so the
+// runtime GC can reclaim the snapshot even if a stale handle leaks.
+type Version[G any] struct {
 	// Graph is the immutable snapshot.
-	Graph Graph
+	Graph G
 	// Stamp is the version's sequence number (monotonically increasing).
 	Stamp uint64
 
-	vg   *VersionedGraph
+	vs   *Versioned[G]
 	refs atomic.Int64
+}
+
+// NewVersioned wraps an initial snapshot as version 0.
+func NewVersioned[G any](g G) *Versioned[G] {
+	vs := &Versioned[G]{}
+	vs.init(g)
+	return vs
+}
+
+// init installs g as version 0. Wrapper types embed Versioned and must
+// init in place (the initial Version points back at the embedded store).
+func (vs *Versioned[G]) init(g G) {
+	v := &Version[G]{Graph: g, Stamp: 0, vs: vs}
+	v.refs.Store(1) // the store's own reference to the current version
+	vs.live.Store(1)
+	vs.cur.Store(v)
+}
+
+// SetRetireHook registers fn to run when a version is retired (its last
+// reference dropped). Must be called before concurrent use begins.
+func (vs *Versioned[G]) SetRetireHook(fn func(stamp uint64)) { vs.onRetire = fn }
+
+// tryRef increments the reference count unless it has already drained to
+// zero. A count at zero can never rise again, which is what makes the
+// retire hook fire exactly once and makes acquiring a retired version
+// impossible.
+func (v *Version[G]) tryRef() bool {
+	for {
+		n := v.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if v.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Acquire returns the current version, pinning it until Release. Lock-free:
+// the reader retries only if the writer superseded the loaded version *and*
+// its count drained in the window between the load and the increment, in
+// which case a newer current version is already installed.
+func (vs *Versioned[G]) Acquire() *Version[G] {
+	for {
+		v := vs.cur.Load()
+		if v.tryRef() {
+			return v
+		}
+	}
+}
+
+// Release drops a reference obtained from Acquire (or the store's own,
+// internally) and reports whether this was the last reference — i.e. the
+// version was retired by this call. Each acquired version must be released
+// exactly once.
+func (vs *Versioned[G]) Release(v *Version[G]) bool {
+	if v.refs.Add(-1) != 0 {
+		return false
+	}
+	// Last reference: retire. Only one goroutine can take the count to
+	// zero, and tryRef never resurrects a drained count, so this path runs
+	// exactly once per version. Clearing Graph drops the snapshot root so
+	// the runtime GC can reclaim nodes unreachable from newer versions.
+	var zero G
+	v.Graph = zero
+	vs.live.Add(-1)
+	vs.retired.Add(1)
+	if vs.onRetire != nil {
+		vs.onRetire(v.Stamp)
+	}
+	return true
+}
+
+// publish installs g as the next version. Must be called with the writer
+// lock held.
+func (vs *Versioned[G]) publish(g G) *Version[G] {
+	v := &Version[G]{Graph: g, Stamp: vs.stamp.Add(1), vs: vs}
+	v.refs.Store(1)
+	vs.live.Add(1)
+	old := vs.cur.Swap(v)
+	vs.Release(old) // drop the store's reference; retires old if unread
+	return v
+}
+
+// Update applies fn to the latest snapshot and publishes the result,
+// returning the new version's stamp. Writers are serialized; readers are
+// unaffected.
+func (vs *Versioned[G]) Update(fn func(G) G) uint64 {
+	vs.writer.Lock()
+	defer vs.writer.Unlock()
+	cur := vs.cur.Load()
+	v := vs.publish(fn(cur.Graph))
+	return v.Stamp
+}
+
+// Current returns the latest published stamp without acquiring.
+func (vs *Versioned[G]) Current() uint64 { return vs.cur.Load().Stamp }
+
+// LiveVersions returns the number of versions published but not yet
+// retired (always ≥ 1: the current version is live).
+func (vs *Versioned[G]) LiveVersions() int64 { return vs.live.Load() }
+
+// RetiredVersions returns the number of versions fully drained and
+// retired since construction.
+func (vs *Versioned[G]) RetiredVersions() uint64 { return vs.retired.Load() }
+
+// VersionedGraph is the unweighted instantiation of Versioned with
+// edge-batch conveniences — the acquire/set/release store §6 describes.
+type VersionedGraph struct {
+	Versioned[Graph]
 }
 
 // NewVersionedGraph wraps an initial graph.
 func NewVersionedGraph(g Graph) *VersionedGraph {
 	vg := &VersionedGraph{}
-	v := &Version{Graph: g, Stamp: 0, vg: vg}
-	v.refs.Store(1) // the VersionedGraph's own reference to the current version
-	vg.cur.Store(v)
+	vg.Versioned.init(g)
 	return vg
-}
-
-// Acquire returns the current version, pinning it until Release. Lock-free.
-// The writer may swap the current version between the load and the reference
-// increment; the snapshot returned is still a valid, fully consistent
-// version (Go's GC keeps it alive), matching the guarantee of the version
-// maintenance algorithm the paper cites [8].
-func (vg *VersionedGraph) Acquire() *Version {
-	v := vg.cur.Load()
-	v.refs.Add(1)
-	return v
-}
-
-// Release drops a reference obtained from Acquire and reports whether this
-// was the last reference to a superseded version (i.e. the version can be
-// collected).
-func (vg *VersionedGraph) Release(v *Version) bool {
-	n := v.refs.Add(-1)
-	return n == 0
-}
-
-// Set atomically publishes g as the next version. Only the internal writer
-// path calls Set; it must be invoked with the writer lock held.
-func (vg *VersionedGraph) set(g Graph) *Version {
-	v := &Version{Graph: g, Stamp: vg.stamp.Add(1), vg: vg}
-	v.refs.Store(1)
-	old := vg.cur.Swap(v)
-	old.refs.Add(-1) // drop the container's reference to the old version
-	return v
-}
-
-// Update applies fn to the latest graph and publishes the result, returning
-// the new version's stamp. Writers are serialized; readers are unaffected.
-func (vg *VersionedGraph) Update(fn func(Graph) Graph) uint64 {
-	vg.writer.Lock()
-	defer vg.writer.Unlock()
-	cur := vg.cur.Load()
-	v := vg.set(fn(cur.Graph))
-	return v.Stamp
 }
 
 // InsertEdges atomically inserts a batch of directed edges.
@@ -104,5 +193,25 @@ func (vg *VersionedGraph) DeleteVertices(ids []uint32) uint64 {
 	return vg.Update(func(g Graph) Graph { return g.DeleteVertices(ids) })
 }
 
-// Current returns the latest published stamp without acquiring.
-func (vg *VersionedGraph) Current() uint64 { return vg.cur.Load().Stamp }
+// VersionedWeightedGraph is the weighted instantiation of Versioned with
+// edge-batch conveniences.
+type VersionedWeightedGraph struct {
+	Versioned[WeightedGraph]
+}
+
+// NewVersionedWeightedGraph wraps an initial weighted graph.
+func NewVersionedWeightedGraph(g WeightedGraph) *VersionedWeightedGraph {
+	vg := &VersionedWeightedGraph{}
+	vg.Versioned.init(g)
+	return vg
+}
+
+// InsertEdges atomically inserts a batch of weighted directed edges.
+func (vg *VersionedWeightedGraph) InsertEdges(edges []WeightedEdge) uint64 {
+	return vg.Update(func(g WeightedGraph) WeightedGraph { return g.InsertEdges(edges) })
+}
+
+// DeleteEdges atomically deletes a batch of weighted directed edges.
+func (vg *VersionedWeightedGraph) DeleteEdges(edges []WeightedEdge) uint64 {
+	return vg.Update(func(g WeightedGraph) WeightedGraph { return g.DeleteEdges(edges) })
+}

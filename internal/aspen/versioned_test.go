@@ -120,6 +120,108 @@ func TestConcurrentWriters(t *testing.T) {
 	}
 }
 
+// TestRetireHookExactlyOnce drives acquires, releases and publishes from
+// concurrent goroutines and asserts the epoch discipline: every superseded
+// version retires exactly once, no version retires while a reader holds it,
+// and at quiescence only the current version is live.
+func TestRetireHookExactlyOnce(t *testing.T) {
+	vg := NewVersionedGraph(NewGraph(params()))
+	var mu sync.Mutex
+	retired := map[uint64]int{}
+	vg.SetRetireHook(func(stamp uint64) {
+		mu.Lock()
+		retired[stamp]++
+		mu.Unlock()
+	})
+	const updates = 200
+	const readers = 4
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				v := vg.Acquire()
+				mu.Lock()
+				n := retired[v.Stamp]
+				mu.Unlock()
+				if n != 0 {
+					t.Error("acquired a retired version")
+					stop.Store(true)
+				}
+				vg.Release(v)
+			}
+		}()
+	}
+	for i := 0; i < updates && !stop.Load(); i++ {
+		vg.InsertEdges([]Edge{{Src: uint32(2 * i), Dst: uint32(2*i + 1)}})
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if live := vg.LiveVersions(); live != 1 {
+		t.Fatalf("LiveVersions = %d at quiescence, want 1", live)
+	}
+	published := vg.Current() + 1 // stamps 0..Current
+	if got := vg.RetiredVersions(); got != published-1 {
+		t.Fatalf("RetiredVersions = %d, want %d", got, published-1)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for stamp, n := range retired {
+		if n != 1 {
+			t.Fatalf("stamp %d retired %d times", stamp, n)
+		}
+	}
+	if uint64(len(retired)) != published-1 {
+		t.Fatalf("%d stamps retired, want %d", len(retired), published-1)
+	}
+}
+
+// TestRetireClearsSnapshot checks that a retired version drops its snapshot
+// reference (the memory-reclamation substitute documented in DESIGN.md).
+func TestRetireClearsSnapshot(t *testing.T) {
+	vg := NewVersionedGraph(NewGraph(params()))
+	vg.InsertEdges(MakeUndirected([]Edge{{1, 2}}))
+	v := vg.Acquire()
+	if v.Graph.NumEdges() != 2 {
+		t.Fatal("acquired snapshot incomplete")
+	}
+	vg.InsertEdges(MakeUndirected([]Edge{{3, 4}})) // supersede v
+	if !vg.Release(v) {
+		t.Fatal("release of last reference should retire")
+	}
+	// The handle leaks past its release here only to observe reclamation.
+	if v.Graph.NumVertices() != 0 {
+		t.Fatal("retired version still references its snapshot")
+	}
+}
+
+func TestVersionedWeightedGraph(t *testing.T) {
+	vg := NewVersionedWeightedGraph(NewWeightedGraph())
+	before := vg.Acquire()
+	stamp := vg.InsertEdges([]WeightedEdge{{Src: 1, Dst: 2, Weight: 0.5}})
+	after := vg.Acquire()
+	if before.Graph.NumEdges() != 0 || after.Graph.NumEdges() != 1 {
+		t.Fatal("weighted snapshot isolation violated")
+	}
+	if w, ok := after.Graph.Weight(1, 2); !ok || w != 0.5 {
+		t.Fatalf("Weight(1,2) = %v,%v", w, ok)
+	}
+	if after.Stamp != stamp {
+		t.Fatal("stamp mismatch")
+	}
+	vg.Release(before)
+	vg.Release(after)
+	vg.DeleteEdges([]WeightedEdge{{Src: 1, Dst: 2}})
+	final := vg.Acquire()
+	defer vg.Release(final)
+	if final.Graph.NumEdges() != 0 {
+		t.Fatal("delete not applied")
+	}
+}
+
 func TestConcurrentFlatSnapshotDuringUpdates(t *testing.T) {
 	vg := NewVersionedGraph(NewGraph(params()))
 	vg.InsertEdges(MakeUndirected([]Edge{{0, 1}, {1, 2}, {2, 3}}))

@@ -35,6 +35,7 @@ var Experiments = []Experiment{
 	{"table14", "Tables 14-15: Ligra+ vs Aspen, all algorithms", Table1415},
 	{"table15", "Tables 14-15: Ligra+ vs Aspen, all algorithms", Table1415},
 	{"ablation-diropt", "Ablation: direction optimization on Aspen BFS/BC", AblationDirOpt},
+	{"sec7.8", "§7.8: live-stream engine, simultaneous updates and queries", Sec78},
 }
 
 // Lookup finds an experiment by ID.

@@ -1,0 +1,339 @@
+// Package stream is the live-serving layer over Aspen's purely-functional
+// snapshots: a single-writer ingest loop drains a bounded queue of edge
+// batches — coalescing queued batches into one functional commit — while
+// any number of concurrent read transactions pin immutable versions and
+// run analytics against them (the paper's §7.8 "simultaneous updates and
+// queries" scenario, served rather than benchmarked). Version lifetime is
+// managed by the epoch-refcounted aspen.Versioned store: a retired
+// snapshot is released — its C-tree root dropped for the runtime GC —
+// exactly when its last reader finishes.
+//
+// The engine is generic over the snapshot type G (aspen.Graph,
+// aspen.WeightedGraph, or anything else satisfying ligra.Graph) and the
+// update type E (aspen.Edge, aspen.WeightedEdge), so one serving path
+// covers every graph flavor in the repository.
+package stream
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aspen"
+	"repro/internal/ligra"
+)
+
+// ErrClosed is returned by Insert/Delete/Flush after Close.
+var ErrClosed = errors.New("stream: engine closed")
+
+// Options tunes the ingest queue. The zero value selects defaults.
+type Options struct {
+	// QueueCap bounds the number of submitted-but-uncommitted batches;
+	// submits block (backpressure) when the queue is full. Default 256.
+	QueueCap int
+	// MaxCoalesce bounds how many queued batches one commit may fold
+	// together. Default 32.
+	MaxCoalesce int
+	// MaxCoalesceEdges bounds the total edges one commit may fold
+	// together (a single larger batch still commits, alone). Default
+	// 1 << 20.
+	MaxCoalesceEdges int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCap <= 0 {
+		o.QueueCap = 256
+	}
+	if o.MaxCoalesce <= 0 {
+		o.MaxCoalesce = 32
+	}
+	if o.MaxCoalesceEdges <= 0 {
+		o.MaxCoalesceEdges = 1 << 20
+	}
+	return o
+}
+
+// pending is one submitted batch waiting in the ingest queue.
+type pending[E any] struct {
+	del   bool
+	edges []E
+	enq   time.Time
+	done  chan uint64 // nil unless a waiter wants the commit stamp
+}
+
+// Engine is the live-stream engine: one ingest goroutine owns the write
+// path; readers run concurrently via Begin/Close transactions. Create with
+// New (or the NewGraphEngine / NewWeightedEngine conveniences); the ingest
+// loop starts immediately.
+type Engine[G ligra.Graph, E any] struct {
+	reg    *aspen.Versioned[G]
+	insert func(G, []E) G
+	remove func(G, []E) G
+	opts   Options
+
+	mu     sync.RWMutex // guards closed and the queue close
+	closed bool
+	queue  chan pending[E]
+	wg     sync.WaitGroup
+
+	commitHist Hist
+	edges      atomic.Uint64 // directed edge updates applied
+	batches    atomic.Uint64 // batches committed
+	commits    atomic.Uint64 // versions published
+}
+
+// New builds an engine over an initial snapshot g and the two functional
+// batch operations of the snapshot type. The ingest loop starts running;
+// call Close to stop it. Submitted edge slices must not be mutated by the
+// caller afterwards (the engine never mutates them).
+func New[G ligra.Graph, E any](g G, insert, remove func(G, []E) G, opts Options) *Engine[G, E] {
+	e := &Engine[G, E]{
+		reg:    aspen.NewVersioned(g),
+		insert: insert,
+		remove: remove,
+		opts:   opts.withDefaults(),
+	}
+	e.queue = make(chan pending[E], e.opts.QueueCap)
+	e.wg.Add(1)
+	go e.loop()
+	return e
+}
+
+// NewGraphEngine serves an unweighted aspen.Graph.
+func NewGraphEngine(g aspen.Graph, opts Options) *Engine[aspen.Graph, aspen.Edge] {
+	return New(g,
+		func(g aspen.Graph, b []aspen.Edge) aspen.Graph { return g.InsertEdges(b) },
+		func(g aspen.Graph, b []aspen.Edge) aspen.Graph { return g.DeleteEdges(b) },
+		opts)
+}
+
+// NewWeightedEngine serves an aspen.WeightedGraph.
+func NewWeightedEngine(g aspen.WeightedGraph, opts Options) *Engine[aspen.WeightedGraph, aspen.WeightedEdge] {
+	return New(g,
+		func(g aspen.WeightedGraph, b []aspen.WeightedEdge) aspen.WeightedGraph { return g.InsertEdges(b) },
+		func(g aspen.WeightedGraph, b []aspen.WeightedEdge) aspen.WeightedGraph { return g.DeleteEdges(b) },
+		opts)
+}
+
+// OnRetire registers fn to run when a superseded version's last reader
+// drops it (see aspen.Versioned.SetRetireHook). Call before the first
+// Submit.
+func (e *Engine[G, E]) OnRetire(fn func(stamp uint64)) { e.reg.SetRetireHook(fn) }
+
+// Pending is a handle to a submitted batch; Wait blocks until the batch is
+// part of a published version and returns that version's stamp.
+type Pending struct{ ch <-chan uint64 }
+
+// Wait blocks until the batch commits and returns the commit stamp.
+func (p Pending) Wait() uint64 { return <-p.ch }
+
+// Done exposes the commit notification channel (closed after the stamp is
+// sent).
+func (p Pending) Done() <-chan uint64 { return p.ch }
+
+// Insert enqueues a batch of edge insertions. Blocks while the queue is
+// full. The returned Pending resolves when the batch is visible to new
+// read transactions.
+func (e *Engine[G, E]) Insert(edges []E) (Pending, error) { return e.submit(false, edges) }
+
+// Delete enqueues a batch of edge deletions.
+func (e *Engine[G, E]) Delete(edges []E) (Pending, error) { return e.submit(true, edges) }
+
+// closedPending is returned on the ErrClosed path so a caller that drops
+// the error and calls Wait fails fast (yields stamp 0) instead of
+// blocking forever on a nil channel.
+var closedPending = func() Pending {
+	ch := make(chan uint64)
+	close(ch)
+	return Pending{ch: ch}
+}()
+
+func (e *Engine[G, E]) submit(del bool, edges []E) (Pending, error) {
+	done := make(chan uint64, 1)
+	p := pending[E]{del: del, edges: edges, enq: time.Now(), done: done}
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		return closedPending, ErrClosed
+	}
+	e.queue <- p // may block (backpressure); the loop drains until close
+	e.mu.RUnlock()
+	return Pending{ch: done}, nil
+}
+
+// Flush blocks until every batch submitted before the call has committed,
+// and returns the stamp current at that point.
+func (e *Engine[G, E]) Flush() (uint64, error) {
+	p, err := e.submit(false, nil)
+	if err != nil {
+		return 0, err
+	}
+	return p.Wait(), nil
+}
+
+// Close stops the ingest loop after draining every queued batch, then
+// waits for it to exit. Concurrent Submits either enqueue before the close
+// (and are committed) or observe ErrClosed. Read transactions are
+// unaffected and may outlive Close.
+func (e *Engine[G, E]) Close() {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// loop is the single-writer ingest loop: take one batch (blocking), drain
+// whatever else is already queued up to the coalescing caps, commit once.
+// A batch received past the MaxCoalesceEdges budget is carried over to
+// start the next commit group, so the edge cap is a hard bound per group
+// (except for a single batch that alone exceeds it, which commits alone).
+func (e *Engine[G, E]) loop() {
+	defer e.wg.Done()
+	var batch []pending[E]
+	var carry pending[E]
+	hasCarry := false
+	for {
+		var first pending[E]
+		if hasCarry {
+			first, hasCarry = carry, false
+		} else {
+			var ok bool
+			first, ok = <-e.queue
+			if !ok {
+				return
+			}
+		}
+		batch = append(batch[:0], first)
+		edges := len(first.edges)
+	drain:
+		for len(batch) < e.opts.MaxCoalesce && edges < e.opts.MaxCoalesceEdges {
+			select {
+			case next, ok := <-e.queue:
+				if !ok {
+					break drain // commit the tail; the next receive exits
+				}
+				if edges > 0 && edges+len(next.edges) > e.opts.MaxCoalesceEdges {
+					carry, hasCarry = next, true
+					break drain
+				}
+				batch = append(batch, next)
+				edges += len(next.edges)
+			default:
+				break drain
+			}
+		}
+		e.commit(batch, edges)
+	}
+}
+
+// run is a maximal FIFO sequence of queued batches with the same kind,
+// concatenated so the whole run pays one radix-sorted tree pass.
+type run[E any] struct {
+	del   bool
+	edges []E
+	owned bool // edges is engine-allocated (safe to append to)
+}
+
+// commit folds the batch into same-kind runs, applies them in order to the
+// latest snapshot, publishes one new version, then acknowledges every
+// batch with the commit stamp.
+func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
+	stamp := e.reg.Current()
+	if totalEdges > 0 {
+		var runs []run[E]
+		for _, b := range batch {
+			if len(b.edges) == 0 {
+				continue
+			}
+			if n := len(runs); n > 0 && runs[n-1].del == b.del {
+				last := &runs[n-1]
+				if !last.owned {
+					merged := make([]E, len(last.edges), len(last.edges)+len(b.edges))
+					copy(merged, last.edges)
+					last.edges = merged
+					last.owned = true
+				}
+				last.edges = append(last.edges, b.edges...)
+				continue
+			}
+			runs = append(runs, run[E]{del: b.del, edges: b.edges})
+		}
+		stamp = e.reg.Update(func(g G) G {
+			for _, r := range runs {
+				if r.del {
+					g = e.remove(g, r.edges)
+				} else {
+					g = e.insert(g, r.edges)
+				}
+			}
+			return g
+		})
+		e.commits.Add(1)
+	}
+	// Counters and latencies first, acks last: a waiter woken by its ack
+	// must observe the commit already reflected in Stats. Zero-edge
+	// batches (Flush markers) are acknowledged but never counted or
+	// sampled — they are not committed work and would skew the tail.
+	now := time.Now()
+	for _, b := range batch {
+		if len(b.edges) > 0 {
+			e.batches.Add(1)
+			e.commitHist.Observe(now.Sub(b.enq))
+		}
+	}
+	e.edges.Add(uint64(totalEdges))
+	for _, b := range batch {
+		if b.done != nil {
+			b.done <- stamp
+			close(b.done)
+		}
+	}
+}
+
+// Stats is a point-in-time view of the engine's counters.
+type Stats struct {
+	// Stamp is the latest published version.
+	Stamp uint64 `json:"stamp"`
+	// Commits is the number of versions published by the ingest loop.
+	Commits uint64 `json:"commits"`
+	// Batches is the number of submitted batches committed (≥ Commits;
+	// the ratio is the coalescing factor).
+	Batches uint64 `json:"batches"`
+	// Edges is the number of directed edge updates applied.
+	Edges uint64 `json:"edges"`
+	// QueueDepth is the number of batches waiting in the ingest queue.
+	QueueDepth int `json:"queue_depth"`
+	// LiveVersions / RetiredVersions mirror the epoch registry: versions
+	// still pinned (plus the current one) and versions fully released.
+	LiveVersions    int64  `json:"live_versions"`
+	RetiredVersions uint64 `json:"retired_versions"`
+	// Commit digests the enqueue-to-visible latency of committed batches.
+	Commit LatencySummary `json:"commit"`
+}
+
+// CoalesceFactor is committed batches per published version.
+func (s Stats) CoalesceFactor() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return float64(s.Batches) / float64(s.Commits)
+}
+
+// Stats returns the engine's counters. Safe to call concurrently with
+// everything else.
+func (e *Engine[G, E]) Stats() Stats {
+	return Stats{
+		Stamp:           e.reg.Current(),
+		Commits:         e.commits.Load(),
+		Batches:         e.batches.Load(),
+		Edges:           e.edges.Load(),
+		QueueDepth:      len(e.queue),
+		LiveVersions:    e.reg.LiveVersions(),
+		RetiredVersions: e.reg.RetiredVersions(),
+		Commit:          e.commitHist.Summary(),
+	}
+}

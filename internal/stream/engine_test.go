@@ -1,0 +1,284 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/aspen"
+	"repro/internal/ctree"
+	"repro/internal/rmat"
+)
+
+func testParams() ctree.Params { return ctree.Params{B: 8} }
+
+func TestEngineCommitVisibility(t *testing.T) {
+	e := NewGraphEngine(aspen.NewGraph(testParams()), Options{})
+	defer e.Close()
+
+	p, err := e.Insert(aspen.MakeUndirected([]aspen.Edge{{Src: 1, Dst: 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamp := p.Wait()
+	tx := e.Begin()
+	if tx.Stamp() < stamp {
+		t.Fatalf("transaction pinned stamp %d, committed %d", tx.Stamp(), stamp)
+	}
+	if !tx.Graph().HasEdge(1, 2) || !tx.Graph().HasEdge(2, 1) {
+		t.Fatal("committed edge not visible")
+	}
+	tx.Close()
+
+	p, err = e.Delete(aspen.MakeUndirected([]aspen.Edge{{Src: 1, Dst: 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	tx = e.Begin()
+	if tx.Graph().HasEdge(1, 2) {
+		t.Fatal("deleted edge still visible")
+	}
+	tx.Close()
+}
+
+// TestEngineCoalescing checks that batches queued while a commit is in
+// flight are folded into fewer commits, FIFO order preserved, and that
+// every Pending resolves with a stamp at which its batch is visible.
+func TestEngineCoalescing(t *testing.T) {
+	// Gate the first apply so later submits deterministically pile up in
+	// the queue while the first commit is "in flight".
+	gate := make(chan struct{})
+	var gated sync.Once
+	e := New(aspen.NewGraph(testParams()),
+		func(g aspen.Graph, b []aspen.Edge) aspen.Graph {
+			gated.Do(func() { <-gate })
+			return g.InsertEdges(b)
+		},
+		func(g aspen.Graph, b []aspen.Edge) aspen.Graph { return g.DeleteEdges(b) },
+		Options{QueueCap: 64, MaxCoalesce: 16})
+	defer e.Close()
+
+	if _, err := e.Insert([]aspen.Edge{{Src: 7, Dst: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	const k = 32
+	pendings := make([]Pending, 0, k)
+	for i := 0; i < k; i++ {
+		u := uint32(1_000_000 + 2*i)
+		p, err := e.Insert([]aspen.Edge{{Src: u, Dst: u + 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	// Interleave a delete of an early edge to exercise run splitting.
+	pd, err := e.Delete([]aspen.Edge{{Src: 1_000_000, Dst: 1_000_001}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate) // release the first commit; everything queued behind it
+	for i, p := range pendings {
+		stamp := p.Wait()
+		tx := e.Begin()
+		if tx.Stamp() < stamp {
+			t.Fatalf("pinned %d < committed %d", tx.Stamp(), stamp)
+		}
+		u := uint32(1_000_000 + 2*i)
+		if i > 0 && !tx.Graph().HasEdge(u, u+1) {
+			t.Fatalf("edge %d not visible at its commit stamp", i)
+		}
+		tx.Close()
+	}
+	pd.Wait()
+	tx := e.Begin()
+	if tx.Graph().HasEdge(1_000_000, 1_000_001) {
+		t.Fatal("FIFO violated: delete submitted after insert did not win")
+	}
+	tx.Close()
+
+	st := e.Stats()
+	if st.Batches != k+2 {
+		t.Fatalf("batches = %d, want %d", st.Batches, k+2)
+	}
+	if st.Commits >= st.Batches {
+		t.Fatalf("no coalescing happened: %d commits for %d batches", st.Commits, st.Batches)
+	}
+}
+
+// TestEngineCoalesceEdgeCap checks that MaxCoalesceEdges is a hard bound
+// per commit group: a batch that would push the group over the budget is
+// carried into the next group instead (and still commits).
+func TestEngineCoalesceEdgeCap(t *testing.T) {
+	gate := make(chan struct{})
+	var gated sync.Once
+	var groups []int // edges per insert run; loop-goroutine only, read after Close
+	e := New(aspen.NewGraph(testParams()),
+		func(g aspen.Graph, b []aspen.Edge) aspen.Graph {
+			gated.Do(func() { <-gate })
+			groups = append(groups, len(b))
+			return g.InsertEdges(b)
+		},
+		func(g aspen.Graph, b []aspen.Edge) aspen.Graph { return g.DeleteEdges(b) },
+		Options{QueueCap: 64, MaxCoalesce: 16, MaxCoalesceEdges: 250})
+	const batches = 10
+	const per = 100
+	var last Pending
+	for i := 0; i < batches; i++ {
+		batch := make([]aspen.Edge, per)
+		for j := range batch {
+			u := uint32(2 * (i*per + j))
+			batch[j] = aspen.Edge{Src: u, Dst: u + 1}
+		}
+		p, err := e.Insert(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = p
+	}
+	close(gate)
+	last.Wait()
+	e.Close()
+	total := 0
+	for _, g := range groups {
+		if g > 250 {
+			t.Fatalf("commit group folded %d edges, cap 250", g)
+		}
+		total += g
+	}
+	if total != batches*per {
+		t.Fatalf("committed %d edges, want %d (carried batch lost?)", total, batches*per)
+	}
+}
+
+func TestEngineFlushAndClose(t *testing.T) {
+	e := NewGraphEngine(aspen.NewGraph(testParams()), Options{})
+	for i := 0; i < 10; i++ {
+		u := uint32(2 * i)
+		if _, err := e.Insert([]aspen.Edge{{Src: u, Dst: u + 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stamp, err := e.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp == 0 {
+		t.Fatal("flush returned the initial stamp")
+	}
+	tx := e.Begin()
+	if got := tx.Graph().NumEdges(); got != 10 {
+		t.Fatalf("NumEdges = %d after flush, want 10", got)
+	}
+	tx.Close()
+	e.Close()
+	if _, err := e.Insert([]aspen.Edge{{Src: 100, Dst: 101}}); err != ErrClosed {
+		t.Fatalf("Insert after Close: err = %v, want ErrClosed", err)
+	}
+	if _, err := e.Flush(); err != ErrClosed {
+		t.Fatalf("Flush after Close: err = %v, want ErrClosed", err)
+	}
+	e.Close() // idempotent
+}
+
+// TestWeightedEngineKernels runs the weighted engine with SSSP — the
+// generic-over-WeightedGraph half of the serving layer.
+func TestWeightedEngineKernels(t *testing.T) {
+	e := NewWeightedEngine(aspen.NewWeightedGraph(), Options{})
+	defer e.Close()
+	edges := []aspen.WeightedEdge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 2},
+		{Src: 0, Dst: 2, Weight: 5},
+	}
+	p, err := e.Insert(aspen.MakeUndirectedWeighted(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	tx := e.Begin()
+	defer tx.Close()
+	dist := algos.SSSP(tx.Graph(), 0)
+	if dist[2] != 3 {
+		t.Fatalf("SSSP dist[2] = %v, want 3 (via vertex 1)", dist[2])
+	}
+}
+
+// TestWorkloadRun smoke-tests the §7.8 runner at tiny scale.
+func TestWorkloadRun(t *testing.T) {
+	gen := rmat.NewGenerator(10, 3)
+	g := aspen.NewGraph(testParams()).InsertEdges(aspen.MakeUndirected(gen.Edges(0, 4_000)))
+	e := NewGraphEngine(g, Options{QueueCap: 16})
+	defer e.Close()
+	w := Workload[aspen.Graph, aspen.Edge]{
+		Engine: e,
+		NextBatch: func(i uint64) (bool, []aspen.Edge) {
+			lo := 4_000 + i*100
+			batch := aspen.MakeUndirected(gen.Edges(lo, lo+100))
+			return i%10 == 9, batch
+		},
+		Readers: 2,
+		Kernels: []Kernel[aspen.Graph]{
+			{Name: "bfs", Run: func(g aspen.Graph) { algos.BFS(g, 0, false) }},
+			{Name: "cc", Run: func(g aspen.Graph) { algos.ConnectedComponents(g) }},
+		},
+		Duration: 150 * time.Millisecond,
+	}
+	rep := w.Run()
+	if rep.Updates == 0 || rep.Queries == 0 {
+		t.Fatalf("workload idle: %d updates, %d queries", rep.Updates, rep.Queries)
+	}
+	if rep.LiveVersions != 1 {
+		t.Fatalf("LiveVersions = %d after drain, want 1", rep.LiveVersions)
+	}
+	if rep.RetiredVersions != rep.FinalStamp {
+		t.Fatalf("retired %d versions, want %d (every superseded version)", rep.RetiredVersions, rep.FinalStamp)
+	}
+	if rep.Commit.Count == 0 || rep.Query.Count == 0 {
+		t.Fatal("latency histograms empty")
+	}
+	if len(rep.PerKernel) != 2 {
+		t.Fatalf("PerKernel = %v", rep.PerKernel)
+	}
+}
+
+// TestSubmitCloseRace checks that concurrent Submit and Close never panic
+// and every accepted batch is committed.
+func TestSubmitCloseRace(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		e := NewGraphEngine(aspen.NewGraph(testParams()), Options{QueueCap: 4})
+		var wg sync.WaitGroup
+		var accepted sync.Map
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					u := uint32(w*1_000_000 + 2*i)
+					p, err := e.Insert([]aspen.Edge{{Src: u, Dst: u + 1}})
+					if err != nil {
+						return
+					}
+					accepted.Store(u, p)
+				}
+			}(w)
+		}
+		time.Sleep(time.Duration(trial%5) * 100 * time.Microsecond)
+		e.Close()
+		wg.Wait()
+		// Every accepted Pending must resolve (Close drains the queue).
+		accepted.Range(func(_, v any) bool {
+			v.(Pending).Wait()
+			return true
+		})
+		tx := e.Begin()
+		edges := tx.Graph().NumEdges()
+		var want uint64
+		accepted.Range(func(_, _ any) bool { want++; return true })
+		if edges != want {
+			t.Fatalf("trial %d: %d edges committed, %d accepted", trial, edges, want)
+		}
+		tx.Close()
+	}
+}

@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/xhash"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// bucketOf must be monotone and bucketMid must land inside its bucket
+	// with bounded relative error.
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<40 + 12345, math.MaxUint64 / 2} {
+		idx := bucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucketOf not monotone at %d", v)
+		}
+		prev = idx
+		mid := bucketMid(idx)
+		if v >= 1<<subBits {
+			if relErr := math.Abs(float64(mid)-float64(v)) / float64(v); relErr > 1.0/float64(subMask) {
+				t.Fatalf("bucketMid(%d) = %d for value %d: rel err %.4f", idx, mid, v, relErr)
+			}
+		} else if mid != v {
+			t.Fatalf("small values must be exact: got %d for %d", mid, v)
+		}
+	}
+	// Exhaustive monotonicity + containment over octave boundaries.
+	for v := uint64(1); v < 1<<16; v++ {
+		a, b := bucketOf(v-1), bucketOf(v)
+		if b < a {
+			t.Fatalf("not monotone at %d", v)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// Uniform 1..1000 µs: p50 ≈ 500µs, p99 ≈ 990µs.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	check := func(name string, got time.Duration, want float64) {
+		if math.Abs(float64(got)-want)/want > 0.05 {
+			t.Fatalf("%s = %v, want ≈%v", name, got, time.Duration(want))
+		}
+	}
+	check("p50", s.P50, 500e3)
+	check("p95", s.P95, 950e3)
+	check("p99", s.P99, 990e3)
+	check("mean", s.Mean, 500.5e3)
+	if s.Max != time.Millisecond {
+		t.Fatalf("Max = %v", s.Max)
+	}
+	if s.P99 > s.Max {
+		t.Fatal("quantile exceeded max")
+	}
+}
+
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	const goroutines = 8
+	const per = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := xhash.NewRNG(uint64(g))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(r.Next() % uint64(time.Second)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Summary()
+	if s.Count != goroutines*per {
+		t.Fatalf("lost observations: %d", s.Count)
+	}
+	// Uniform over [0, 1s): p50 ≈ 500ms within histogram error.
+	if s.P50 < 450*time.Millisecond || s.P50 > 550*time.Millisecond {
+		t.Fatalf("p50 = %v for uniform [0,1s)", s.P50)
+	}
+}
+
+func TestHistZero(t *testing.T) {
+	var h Hist
+	if s := h.Summary(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("zero hist summary = %+v", s)
+	}
+	h.Observe(-time.Second) // clamps to zero, must not panic
+	if s := h.Summary(); s.Count != 1 || s.Max != 0 {
+		t.Fatalf("negative observation: %+v", s)
+	}
+}

@@ -1,0 +1,189 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ligra"
+)
+
+// Kernel is a named analytics query run inside read transactions — any
+// algos kernel (BFS, CC, SSSP, ...) closed over its parameters.
+type Kernel[G ligra.Graph] struct {
+	Name string
+	Run  func(g G)
+}
+
+// Workload drives the paper's §7.8 experiment against a live engine: one
+// writer goroutine sustains batched updates while Readers goroutines issue
+// queries on pinned snapshots, for Duration. All latencies are measured
+// end-to-end (commit: enqueue → visible; query: begin → close).
+type Workload[G ligra.Graph, E any] struct {
+	Engine *Engine[G, E]
+	// NextBatch returns the i-th update batch of the stream (del reports
+	// a deletion batch). Called only from the writer goroutine. Nil means
+	// an idle writer (the query-only baseline).
+	NextBatch func(i uint64) (del bool, edges []E)
+	// Readers is the number of concurrent query goroutines.
+	Readers int
+	// Kernels are cycled round-robin by every reader.
+	Kernels []Kernel[G]
+	// Duration is how long the writer sustains updates; readers stop with
+	// the writer.
+	Duration time.Duration
+	// Interval, when positive, paces the writer to one batch per Interval
+	// (an offered-load experiment: commit latency is measured at that
+	// rate). Zero saturates: submit as fast as the queue accepts
+	// (latency then includes queue backpressure).
+	Interval time.Duration
+}
+
+// UpdateSchedule returns the §7.8 writer schedule shared by cmd/stream
+// and the bench harness: 9 insert batches of fresh generator edges
+// followed by 1 delete batch replaying a recently inserted range (so
+// deletions perform real work), repeating. start is the first unconsumed
+// generator index, batch the edges drawn per batch, and mk materializes a
+// generator range [lo, hi) as updates. The returned closure is
+// single-goroutine (writer-only), like NextBatch.
+func UpdateSchedule[E any](start, batch uint64, mk func(lo, hi uint64) []E) func(i uint64) (bool, []E) {
+	type span struct{ lo, hi uint64 }
+	var recent []span
+	pos := start
+	return func(i uint64) (bool, []E) {
+		if i%10 == 9 && len(recent) > 4 {
+			s := recent[0]
+			recent = recent[1:]
+			return true, mk(s.lo, s.hi)
+		}
+		lo := pos
+		pos += batch
+		recent = append(recent, span{lo, pos})
+		return false, mk(lo, pos)
+	}
+}
+
+// KernelStat pairs a kernel with its query-latency digest.
+type KernelStat struct {
+	Name    string         `json:"name"`
+	Latency LatencySummary `json:"latency"`
+}
+
+// Report is the outcome of one Workload run — the §7.8 numbers.
+type Report struct {
+	Duration      time.Duration `json:"duration_ns"`
+	Readers       int           `json:"readers"`
+	Updates       uint64        `json:"updates"`         // directed edge updates applied
+	UpdatesPerSec float64       `json:"updates_per_sec"` // sustained, over Duration
+	Commits       uint64        `json:"commits"`
+	Batches       uint64        `json:"batches"`
+	Coalesce      float64       `json:"coalesce_factor"` // batches per commit
+
+	Commit LatencySummary `json:"commit_latency"`
+
+	Queries       uint64         `json:"queries"`
+	QueriesPerSec float64        `json:"queries_per_sec"`
+	Query         LatencySummary `json:"query_latency"`
+	PerKernel     []KernelStat   `json:"per_kernel"`
+
+	// LiveVersions and RetiredVersions are sampled after the run drains:
+	// live must be 1 (only the current version) when every reader exited,
+	// proving retired snapshots were released.
+	LiveVersions    int64  `json:"live_versions"`
+	RetiredVersions uint64 `json:"retired_versions"`
+	FinalStamp      uint64 `json:"final_stamp"`
+}
+
+// Run executes the workload and reports. The engine is flushed but left
+// open (Close it separately).
+func (w *Workload[G, E]) Run() Report {
+	type kernelHist struct {
+		name string
+		hist *Hist
+	}
+	kh := make([]kernelHist, len(w.Kernels))
+	for i, k := range w.Kernels {
+		kh[i] = kernelHist{name: k.Name, hist: &Hist{}}
+	}
+	var queryHist Hist
+	var queries atomic.Uint64
+	var stop atomic.Bool
+
+	var readerWG sync.WaitGroup
+	readers := w.Readers
+	if len(w.Kernels) == 0 {
+		readers = 0
+	}
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for i := r; !stop.Load(); i++ {
+				k := w.Kernels[i%len(w.Kernels)]
+				t0 := time.Now()
+				tx := w.Engine.Begin()
+				k.Run(tx.Graph())
+				tx.Close()
+				d := time.Since(t0)
+				queryHist.Observe(d)
+				kh[i%len(w.Kernels)].hist.Observe(d)
+				queries.Add(1)
+			}
+		}(r)
+	}
+
+	// Writer: pipeline batches through the bounded queue until the
+	// deadline, then flush so every submitted batch is committed.
+	start := time.Now()
+	deadline := start.Add(w.Duration)
+	if w.NextBatch == nil {
+		time.Sleep(w.Duration)
+	}
+	for i := uint64(0); w.NextBatch != nil && time.Now().Before(deadline); i++ {
+		if w.Interval > 0 {
+			// Absolute schedule: batch i is due at start + i*Interval, so
+			// a slow commit doesn't shift the whole offered load.
+			if due := start.Add(time.Duration(i) * w.Interval); time.Until(due) > 0 {
+				time.Sleep(time.Until(due))
+			}
+		}
+		del, edges := w.NextBatch(i)
+		var err error
+		if del {
+			_, err = w.Engine.Delete(edges)
+		} else {
+			_, err = w.Engine.Insert(edges)
+		}
+		if err != nil {
+			break
+		}
+	}
+	stamp, _ := w.Engine.Flush()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	readerWG.Wait()
+
+	st := w.Engine.Stats()
+	rep := Report{
+		Duration:        elapsed,
+		Readers:         w.Readers,
+		Updates:         st.Edges,
+		UpdatesPerSec:   float64(st.Edges) / elapsed.Seconds(),
+		Commits:         st.Commits,
+		Batches:         st.Batches,
+		Coalesce:        st.CoalesceFactor(),
+		Commit:          st.Commit,
+		Queries:         queries.Load(),
+		QueriesPerSec:   float64(queries.Load()) / elapsed.Seconds(),
+		Query:           queryHist.Summary(),
+		LiveVersions:    st.LiveVersions,
+		RetiredVersions: st.RetiredVersions,
+		FinalStamp:      stamp,
+	}
+	for _, k := range kh {
+		rep.PerKernel = append(rep.PerKernel, KernelStat{Name: k.name, Latency: k.hist.Summary()})
+	}
+	sort.Slice(rep.PerKernel, func(i, j int) bool { return rep.PerKernel[i].Name < rep.PerKernel[j].Name })
+	return rep
+}

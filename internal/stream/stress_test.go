@@ -1,0 +1,163 @@
+package stream
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/aspen"
+	"repro/internal/rmat"
+)
+
+// TestSnapshotLifecycleStress is the snapshot-lifecycle satellite: many
+// readers acquire and release versions while the writer commits and the
+// epoch registry GCs retired versions, asserting (under -race in CI)
+//
+//   - no use-after-release: a version never retires while a transaction
+//     holds it, and an open transaction's snapshot is never cleared;
+//   - exact refcount drain: every superseded version retires exactly
+//     once, and after the run every version but the current one has
+//     drained (live == 1, retired == stamp).
+func TestSnapshotLifecycleStress(t *testing.T) {
+	readers := 2 * runtime.GOMAXPROCS(0)
+	if readers > 16 {
+		readers = 16
+	}
+	updates := 300
+	if testing.Short() {
+		updates = 60
+	}
+
+	gen := rmat.NewGenerator(10, 17)
+	g := aspen.NewGraph(testParams()).InsertEdges(aspen.MakeUndirected(gen.Edges(0, 2_000)))
+	e := NewGraphEngine(g, Options{QueueCap: 8, MaxCoalesce: 4})
+
+	var mu sync.Mutex
+	retired := map[uint64]int{}
+	e.OnRetire(func(stamp uint64) {
+		mu.Lock()
+		retired[stamp]++
+		mu.Unlock()
+	})
+	retiredAt := func(stamp uint64) int {
+		mu.Lock()
+		defer mu.Unlock()
+		return retired[stamp]
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				tx := e.Begin()
+				stamp := tx.Stamp()
+				if retiredAt(stamp) != 0 {
+					t.Error("acquired an already-retired version")
+					stop.Store(true)
+				}
+				// Touch the snapshot: it must stay fully intact while
+				// pinned, even as the writer races ahead.
+				if tx.Graph().NumVertices() == 0 {
+					t.Error("pinned snapshot was cleared (use-after-release)")
+					stop.Store(true)
+				}
+				if r%3 == 0 {
+					// Hold some pins across several commits to keep old
+					// epochs alive.
+					time.Sleep(200 * time.Microsecond)
+				}
+				if retiredAt(stamp) != 0 {
+					t.Error("version retired while a reader held it")
+					stop.Store(true)
+				}
+				tx.Close()
+			}
+		}(r)
+	}
+
+	for i := 0; i < updates && !stop.Load(); i++ {
+		lo := 2_000 + uint64(i)*50
+		batch := aspen.MakeUndirected(gen.Edges(lo, lo+50))
+		var err error
+		if i%7 == 6 {
+			_, err = e.Delete(batch)
+		} else {
+			_, err = e.Insert(batch)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	e.Close()
+
+	st := e.Stats()
+	if st.LiveVersions != 1 {
+		t.Fatalf("LiveVersions = %d after drain, want 1 (current only)", st.LiveVersions)
+	}
+	if st.RetiredVersions != st.Stamp {
+		t.Fatalf("RetiredVersions = %d, want %d (exact refcount drain)", st.RetiredVersions, st.Stamp)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if uint64(len(retired)) != st.Stamp {
+		t.Fatalf("%d distinct stamps retired, want %d", len(retired), st.Stamp)
+	}
+	for stamp, n := range retired {
+		if n != 1 {
+			t.Fatalf("stamp %d retired %d times, want exactly once", stamp, n)
+		}
+		if stamp >= st.Stamp {
+			t.Fatalf("current stamp %d reported retired", stamp)
+		}
+	}
+}
+
+// TestAcquireRetireRace hammers the acquire/supersede/drain window: a
+// version must never be handed to a reader after its count drained.
+func TestAcquireRetireRace(t *testing.T) {
+	e := NewGraphEngine(aspen.NewGraph(testParams()), Options{QueueCap: 2, MaxCoalesce: 1})
+	var retiredMax atomic.Uint64 // highest retired stamp
+	e.OnRetire(func(stamp uint64) {
+		for {
+			m := retiredMax.Load()
+			if stamp <= m || retiredMax.CompareAndSwap(m, stamp) {
+				return
+			}
+		}
+	})
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				tx := e.Begin()
+				tx.Close()
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		u := uint32(2 * i)
+		if _, err := e.Insert([]aspen.Edge{{Src: u, Dst: u + 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	stop.Store(true)
+	wg.Wait()
+	st := e.Stats()
+	if st.LiveVersions != 1 || st.RetiredVersions != st.Stamp {
+		t.Fatalf("live=%d retired=%d stamp=%d", st.LiveVersions, st.RetiredVersions, st.Stamp)
+	}
+}

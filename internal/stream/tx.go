@@ -1,0 +1,42 @@
+package stream
+
+import (
+	"repro/internal/aspen"
+	"repro/internal/ligra"
+)
+
+// Tx is a read transaction: an immutable snapshot pinned against epoch
+// reclamation. Any number of transactions run concurrently with each other
+// and with the ingest loop; a transaction never blocks a commit and a
+// commit never disturbs an open transaction. Close releases the pin; the
+// snapshot must not be used after Close (the version it pins may then be
+// retired and its snapshot reference cleared).
+type Tx[G ligra.Graph] struct {
+	v   *aspen.Version[G]
+	reg *aspen.Versioned[G]
+}
+
+// Begin pins the latest published version and returns a transaction over
+// it. Lock-free; never blocked by the writer or other readers.
+func (e *Engine[G, E]) Begin() Tx[G] {
+	return Tx[G]{v: e.reg.Acquire(), reg: e.reg}
+}
+
+// Graph returns the pinned immutable snapshot. Any algos kernel accepting
+// the ligra traversal interfaces runs against it directly.
+func (t *Tx[G]) Graph() G { return t.v.Graph }
+
+// Stamp returns the pinned version's sequence number.
+func (t *Tx[G]) Stamp() uint64 { return t.v.Stamp }
+
+// Close releases the pin, allowing the version to be retired once its last
+// reader is done. Reports whether this Close retired the version.
+// Idempotent: second and later calls return false.
+func (t *Tx[G]) Close() bool {
+	if t.v == nil {
+		return false
+	}
+	v := t.v
+	t.v = nil
+	return t.reg.Release(v)
+}
