@@ -28,6 +28,7 @@ import (
 	"repro/internal/algos"
 	"repro/internal/aspen"
 	"repro/internal/ctree"
+	"repro/internal/ligra"
 	"repro/internal/rmat"
 	"repro/internal/stream"
 	"repro/internal/xhash"
@@ -45,9 +46,12 @@ func main() {
 		queueCap = flag.Int("queue", 256, "ingest queue capacity (batches)")
 		coalesce = flag.Int("coalesce", 32, "max batches folded into one commit")
 		isolate  = flag.Bool("isolate", true, "also run update-only and query-only baselines")
+		flat     = flag.Bool("flat", true, "run kernels on the per-version cached flat view (§5.1)")
+		prebuild = flag.Bool("prebuild-flat", false, "build each version's flat view on commit instead of lazily on first query")
 		interval = flag.Duration("interval", 0, "pace the writer to one batch per interval (0 = saturate)")
 		quick    = flag.Bool("quick", false, "tiny smoke-test configuration")
 		jsonOut  = flag.String("json", "", "write results as a BENCH_*.json document")
+		jsonTag  = flag.String("tag", "stream", "tag recorded in the -json document")
 		mergeIn  = flag.String("merge", "", "snapshot file whose benchmarks array is merged into -json")
 		seed     = flag.Uint64("seed", 42, "rMAT stream seed")
 	)
@@ -90,11 +94,12 @@ func main() {
 	cfg := config{
 		Scale: *scale, InitEdges: *initE, Batch: *batch, Weighted: *weighted,
 		Algos: *algoList, QueueCap: *queueCap, MaxCoalesce: *coalesce,
+		Flat: *flat, PrebuildFlat: *prebuild,
 		DurationNS: duration.Nanoseconds(), IntervalNS: interval.Nanoseconds(),
 		Seed: *seed, Procs: runtime.GOMAXPROCS(0),
 	}
-	fmt.Printf("stream: scale=%d init=%d batch=%d weighted=%v algos=%s procs=%d\n",
-		*scale, *initE, *batch, *weighted, *algoList, cfg.Procs)
+	fmt.Printf("stream: scale=%d init=%d batch=%d weighted=%v algos=%s flat=%v procs=%d\n",
+		*scale, *initE, *batch, *weighted, *algoList, *flat, cfg.Procs)
 
 	var runs []runResult
 	if *isolate {
@@ -109,24 +114,26 @@ func main() {
 	}
 
 	if *jsonOut != "" {
-		writeJSON(*jsonOut, *mergeIn, cfg, runs)
+		writeJSON(*jsonOut, *jsonTag, *mergeIn, cfg, runs)
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 }
 
 // config records the experiment parameters in the JSON document.
 type config struct {
-	Scale       int    `json:"scale"`
-	InitEdges   uint64 `json:"init_edges"`
-	Batch       uint64 `json:"batch"`
-	Weighted    bool   `json:"weighted"`
-	Algos       string `json:"algos"`
-	QueueCap    int    `json:"queue_cap"`
-	MaxCoalesce int    `json:"max_coalesce"`
-	DurationNS  int64  `json:"duration_ns"`
-	IntervalNS  int64  `json:"interval_ns"`
-	Seed        uint64 `json:"seed"`
-	Procs       int    `json:"procs"`
+	Scale        int    `json:"scale"`
+	InitEdges    uint64 `json:"init_edges"`
+	Batch        uint64 `json:"batch"`
+	Weighted     bool   `json:"weighted"`
+	Algos        string `json:"algos"`
+	QueueCap     int    `json:"queue_cap"`
+	MaxCoalesce  int    `json:"max_coalesce"`
+	Flat         bool   `json:"flat"`
+	PrebuildFlat bool   `json:"prebuild_flat"`
+	DurationNS   int64  `json:"duration_ns"`
+	IntervalNS   int64  `json:"interval_ns"`
+	Seed         uint64 `json:"seed"`
+	Procs        int    `json:"procs"`
 }
 
 type runResult struct {
@@ -158,7 +165,7 @@ func weightedBatch(gen rmat.Generator, lo, hi uint64) []aspen.WeightedEdge {
 // query-latency baseline).
 func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bool) runResult {
 	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
-	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce}
+	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce, PrebuildFlat: cfg.PrebuildFlat}
 	var rep stream.Report
 	if cfg.Weighted {
 		g := aspen.NewWeightedGraph().InsertEdges(weightedBatch(gen, 0, cfg.InitEdges))
@@ -169,6 +176,7 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 			Kernels:  weightedKernels(cfg),
 			Duration: d,
 			Interval: time.Duration(cfg.IntervalNS),
+			UseFlat:  cfg.Flat,
 		}
 		if withWriter {
 			w.NextBatch = stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
@@ -185,6 +193,7 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 			Kernels:  unweightedKernels(cfg),
 			Duration: d,
 			Interval: time.Duration(cfg.IntervalNS),
+			UseFlat:  cfg.Flat,
 		}
 		if withWriter {
 			w.NextBatch = stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
@@ -213,9 +222,13 @@ func unweightedKernels(cfg config) []stream.Kernel[aspen.Graph] {
 		switch strings.TrimSpace(a) {
 		case "bfs":
 			src := srcCycler(n)
-			ks = append(ks, stream.Kernel[aspen.Graph]{Name: "bfs", Run: func(g aspen.Graph) { algos.BFS(g, src(), false) }})
+			ks = append(ks, stream.Kernel[aspen.Graph]{Name: "bfs",
+				Run:     func(g aspen.Graph) { algos.BFS(g, src(), false) },
+				RunFlat: func(g ligra.Graph) { algos.BFS(g, src(), false) }})
 		case "cc":
-			ks = append(ks, stream.Kernel[aspen.Graph]{Name: "cc", Run: func(g aspen.Graph) { algos.ConnectedComponents(g) }})
+			ks = append(ks, stream.Kernel[aspen.Graph]{Name: "cc",
+				Run:     func(g aspen.Graph) { algos.ConnectedComponents(g) },
+				RunFlat: func(g ligra.Graph) { algos.ConnectedComponents(g) }})
 		case "sssp":
 			fatal("sssp requires -weighted")
 		default:
@@ -232,12 +245,18 @@ func weightedKernels(cfg config) []stream.Kernel[aspen.WeightedGraph] {
 		switch strings.TrimSpace(a) {
 		case "bfs":
 			src := srcCycler(n)
-			ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "bfs", Run: func(g aspen.WeightedGraph) { algos.BFS(g, src(), false) }})
+			ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "bfs",
+				Run:     func(g aspen.WeightedGraph) { algos.BFS(g, src(), false) },
+				RunFlat: func(g ligra.Graph) { algos.BFS(g, src(), false) }})
 		case "cc":
-			ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "cc", Run: func(g aspen.WeightedGraph) { algos.ConnectedComponents(g) }})
+			ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "cc",
+				Run:     func(g aspen.WeightedGraph) { algos.ConnectedComponents(g) },
+				RunFlat: func(g ligra.Graph) { algos.ConnectedComponents(g) }})
 		case "sssp":
 			src := srcCycler(n)
-			ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "sssp", Run: func(g aspen.WeightedGraph) { algos.SSSP(g, src()) }})
+			ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "sssp",
+				Run:     func(g aspen.WeightedGraph) { algos.SSSP(g, src()) },
+				RunFlat: func(g ligra.Graph) { algos.SSSP(g.(ligra.WeightedGraph), src()) }})
 		default:
 			fatal("unknown algo %q", a)
 		}
@@ -264,6 +283,10 @@ func printRun(name string, r stream.Report) {
 	}
 	fmt.Printf("versions: %d published, %d retired+released, %d live\n",
 		r.FinalStamp, r.RetiredVersions, r.LiveVersions)
+	if r.FlatBuilds+r.FlatHits > 0 {
+		fmt.Printf("flat cache: %d builds, %d hits (%.1f queries per build)\n",
+			r.FlatBuilds, r.FlatHits, float64(r.FlatBuilds+r.FlatHits)/float64(max(r.FlatBuilds, 1)))
+	}
 }
 
 // benchDoc is the on-disk BENCH_*.json shape: the benchdiff snapshot
@@ -281,11 +304,12 @@ type streamDoc struct {
 	Runs   []runResult `json:"runs"`
 }
 
-func writeJSON(path, mergePath string, cfg config, runs []runResult) {
+func writeJSON(path, tag, mergePath string, cfg config, runs []runResult) {
 	doc := benchDoc{
-		Tag: "pr3_stream",
+		Tag: tag,
 		Description: "Live-stream engine §7.8 reproduction: concurrent readers + single writer " +
-			"over epoch-refcounted snapshots; benchmarks array gates allocs in CI via cmd/benchdiff.",
+			"over epoch-refcounted snapshots, kernels on per-version cached flat views; " +
+			"benchmarks array gates allocs in CI via cmd/benchdiff.",
 		Machine:    runtime.GOOS + "/" + runtime.GOARCH,
 		Benchmarks: json.RawMessage("[]"),
 		Stream:     streamDoc{Config: cfg, Runs: runs},

@@ -1,0 +1,7 @@
+//go:build !aspendebug
+
+package aspen
+
+// flatDebug gates the stale-flat-view assertions. Off in release builds:
+// MustCurrent compiles to nothing.
+const flatDebug = false

@@ -1,0 +1,9 @@
+//go:build aspendebug
+
+package aspen
+
+// flatDebug gates the stale-flat-view assertions. Built with
+// -tags aspendebug, MustCurrent panics when a flat view is used against a
+// snapshot it was not built from (the staleness footgun: a flat view is
+// tied to one immutable version and never sees later updates).
+const flatDebug = true

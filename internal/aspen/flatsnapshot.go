@@ -2,93 +2,209 @@ package aspen
 
 import (
 	"repro/internal/ctree"
+	"repro/internal/parallel"
 )
 
-// FlatSnapshot is a dense, id-indexed view of one graph version: a pointer
-// (here: a C-tree handle) per vertex plus its degree. It removes the
-// O(log n) vertex-tree lookup from every edgeMap access, the optimization of
-// §5.1 for global algorithms. Building it is O(n) work and O(log n) depth via
-// an indexed parallel traversal of the vertex-tree, and it can be built
-// concurrently with updates since it only reads the persistent version.
+// FlatView is a dense, id-indexed view of one immutable graph version: one
+// edge C-tree handle per vertex id plus its degree. It removes the O(log n)
+// vertex-tree lookup from every edgeMap access — the §5.1 flat-snapshot
+// optimization that makes global algorithms on Aspen competitive with
+// static CSR — generically over the edge payload V, so the weighted graph
+// gets the same fast path as the unweighted one.
+//
+// A flat view is tied to exactly the snapshot it was built from. Snapshots
+// are purely functional: InsertEdges/DeleteEdges return NEW graphs and
+// never disturb the one the view indexes, so the view can never be
+// "invalidated" — but it also never sees later updates. Build a new view
+// per version (or let stream.Tx.Flat cache one per version); Current
+// reports whether a view still matches a given snapshot. Degree and
+// ForEachNeighbor are total: ids outside the id space (or absent vertices)
+// yield degree 0 and an empty neighbor iteration rather than a panic.
+type FlatView[V ctree.Value] struct {
+	trees    []ctree.Tree[V]
+	present  []bool
+	degrees  []int32
+	order    int
+	numEdges uint64
+	root     *vnode[V] // identity of the snapshot the view was built from
+}
+
+// FlatSnapshot is the unweighted flat view (the paper's original §5.1
+// structure). It satisfies ligra.Graph, ligra.ParallelNeighborGraph and
+// ligra.FlatGraph.
 type FlatSnapshot struct {
-	graph   Graph
-	trees   []ctree.Set
-	present []bool
-	degrees []int32
-	order   int
+	FlatView[struct{}]
+}
+
+// FlatWeightedSnapshot is the flat view of a WeightedGraph. It additionally
+// satisfies ligra.WeightedGraph and ligra.FlatWeightedGraph, so weighted
+// kernels (SSSP) skip the vertex-tree lookups too.
+type FlatWeightedSnapshot struct {
+	FlatView[float32]
+}
+
+// buildFlatView materializes the dense view with an indexed parallel
+// vertex-tree traversal: the tree's in-order ranks are partitioned into
+// per-worker ranges and each worker walks its range with one rank-pruned
+// descent (pftree.ForEachRankRange) — O(n) work, O(n/P + log n) depth, as
+// §5.1 specifies. Safe to run concurrently with updates: it only reads the
+// persistent version.
+func buildFlatView[V ctree.Value](ops *vopsT[V], vt *vnode[V], order int, numEdges uint64) FlatView[V] {
+	fv := FlatView[V]{
+		trees:    make([]ctree.Tree[V], order),
+		present:  make([]bool, order),
+		degrees:  make([]int32, order),
+		order:    order,
+		numEdges: numEdges,
+		root:     vt,
+	}
+	fill := func(u uint32, et ctree.Tree[V]) bool {
+		fv.trees[u] = et
+		fv.present[u] = true
+		fv.degrees[u] = int32(et.Size())
+		return true
+	}
+	n := vt.Size()
+	nb := parallel.Procs * 4
+	if nb > n {
+		nb = n
+	}
+	if nb <= 1 {
+		ops.ForEachRankRange(vt, 0, n, fill)
+		return fv
+	}
+	sz := (n + nb - 1) / nb
+	parallel.ForGrain(nb, 1, func(b int) {
+		lo, hi := b*sz, (b+1)*sz
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			ops.ForEachRankRange(vt, lo, hi, fill)
+		}
+	})
+	return fv
 }
 
 // BuildFlatSnapshot materializes the flat view of g.
 func BuildFlatSnapshot(g Graph) *FlatSnapshot {
-	order := g.Order()
-	fs := &FlatSnapshot{
-		graph:   g,
-		trees:   make([]ctree.Set, order),
-		present: make([]bool, order),
-		degrees: make([]int32, order),
-		order:   order,
-	}
-	vops.ForEachIndexed(g.vt, func(_ int, u uint32, et ctree.Set) {
-		fs.trees[u] = et
-		fs.present[u] = true
-		fs.degrees[u] = int32(et.Size())
-	})
-	return fs
+	return &FlatSnapshot{buildFlatView(vops, g.vt, g.Order(), g.NumEdges())}
 }
 
-// Graph returns the underlying snapshot.
-func (fs *FlatSnapshot) Graph() Graph { return fs.graph }
+// BuildFlatWeightedSnapshot materializes the flat view of the weighted g.
+func BuildFlatWeightedSnapshot(g WeightedGraph) *FlatWeightedSnapshot {
+	return &FlatWeightedSnapshot{buildFlatView(wvops, g.vt, g.Order(), g.NumEdges())}
+}
 
 // Order returns the vertex-id space size.
-func (fs *FlatSnapshot) Order() int { return fs.order }
+func (fv *FlatView[V]) Order() int { return fv.order }
 
-// NumEdges returns the number of directed edges.
-func (fs *FlatSnapshot) NumEdges() uint64 { return fs.graph.NumEdges() }
+// NumEdges returns the number of directed edges of the underlying version.
+func (fv *FlatView[V]) NumEdges() uint64 { return fv.numEdges }
 
-// Degree returns the degree of u in O(1).
-func (fs *FlatSnapshot) Degree(u uint32) int {
-	if int(u) >= fs.order {
+// Degree returns the degree of u in O(1). Total: out-of-range or absent ids
+// have degree 0.
+func (fv *FlatView[V]) Degree(u uint32) int {
+	if int(u) >= fv.order {
 		return 0
 	}
-	return int(fs.degrees[u])
+	return int(fv.degrees[u])
+}
+
+// Degrees exposes the id-indexed degree array (length Order) — the
+// ligra.FlatGraph capability. Callers must not mutate it; schedulers use it
+// for exact work-based partitioning.
+func (fv *FlatView[V]) Degrees() []int32 { return fv.degrees }
+
+// HasVertex reports whether u is a vertex of the underlying version.
+func (fv *FlatView[V]) HasVertex(u uint32) bool {
+	return int(u) < fv.order && fv.present[u]
 }
 
 // ForEachNeighbor applies f to u's neighbors in increasing order until f
-// returns false. O(1) access to the edge tree.
-func (fs *FlatSnapshot) ForEachNeighbor(u uint32, f func(v uint32) bool) {
-	if int(u) >= fs.order || !fs.present[u] {
+// returns false. O(1) access to the edge tree; total on out-of-range ids.
+func (fv *FlatView[V]) ForEachNeighbor(u uint32, f func(v uint32) bool) {
+	if int(u) >= fv.order || !fv.present[u] {
 		return
 	}
-	fs.trees[u].ForEach(f)
+	fv.trees[u].ForEach(f)
 }
 
 // ForEachNeighborPar applies f to u's neighbors with edge-tree parallelism
 // (unordered).
-func (fs *FlatSnapshot) ForEachNeighborPar(u uint32, f func(v uint32)) {
-	if int(u) >= fs.order || !fs.present[u] {
+func (fv *FlatView[V]) ForEachNeighborPar(u uint32, f func(v uint32)) {
+	if int(u) >= fv.order || !fv.present[u] {
 		return
 	}
-	fs.trees[u].ForEachPar(f)
+	fv.trees[u].ForEachPar(f)
 }
 
-// HasVertex reports whether u is a vertex.
-func (fs *FlatSnapshot) HasVertex(u uint32) bool {
-	return int(u) < fs.order && fs.present[u]
+// ForEachNeighborKV applies f to u's (neighbor, payload) pairs in increasing
+// neighbor order until f returns false.
+func (fv *FlatView[V]) ForEachNeighborKV(u uint32, f func(v uint32, val V) bool) {
+	if int(u) >= fv.order || !fv.present[u] {
+		return
+	}
+	fv.trees[u].ForEachKV(f)
 }
 
 // EdgeTree returns u's edge tree in O(1).
-func (fs *FlatSnapshot) EdgeTree(u uint32) (ctree.Set, bool) {
-	if !fs.HasVertex(u) {
-		return ctree.Set{}, false
+func (fv *FlatView[V]) EdgeTree(u uint32) (ctree.Tree[V], bool) {
+	if !fv.HasVertex(u) {
+		return ctree.Tree[V]{}, false
 	}
-	return fs.trees[u], true
+	return fv.trees[u], true
 }
 
-// MemoryBytes returns the analytic size of the flat snapshot itself: one
-// pointer-sized slot plus one degree word per id (the "Flat Snap." column of
-// Table 2 counts exactly the pointer array).
-func (fs *FlatSnapshot) MemoryBytes() uint64 {
-	// trees slot (treated as one 8-byte pointer as in the paper) + 4-byte
-	// degree + 1-byte presence.
-	return uint64(fs.order) * (8 + 4 + 1)
+// MemoryBytes returns the analytic size of the flat view itself: one
+// pointer-sized slot plus one degree word and one presence byte per id (the
+// "Flat Snap." column of Table 2 counts exactly the pointer array).
+func (fv *FlatView[V]) MemoryBytes() uint64 {
+	return uint64(fv.order) * (8 + 4 + 1)
+}
+
+// sameRoot reports whether the view was built from exactly the given
+// vertex-tree root (pointer identity — functional updates always produce a
+// fresh root).
+func (fv *FlatView[V]) sameRoot(root *vnode[V]) bool { return fv.root == root }
+
+// Current reports whether fs still reflects g — i.e. it was built from g's
+// exact immutable snapshot. A false result means g is a different (typically
+// newer) version and the view, while still safe to use, answers queries
+// about the version it was built from. Compiled with -tags aspendebug,
+// MustCurrent turns a mismatch into a panic.
+func (fs *FlatSnapshot) Current(g Graph) bool { return fs.sameRoot(g.vt) }
+
+// Current is the weighted analogue of FlatSnapshot.Current.
+func (fs *FlatWeightedSnapshot) Current(g WeightedGraph) bool { return fs.sameRoot(g.vt) }
+
+// MustCurrent panics when fs was not built from g's exact snapshot. The
+// check runs only under the aspendebug build tag; release builds compile it
+// to nothing, so hot paths may call it unconditionally.
+func (fs *FlatSnapshot) MustCurrent(g Graph) {
+	if flatDebug && !fs.Current(g) {
+		panic("aspen: flat snapshot is stale for this graph version")
+	}
+}
+
+// MustCurrent is the weighted analogue of FlatSnapshot.MustCurrent.
+func (fs *FlatWeightedSnapshot) MustCurrent(g WeightedGraph) {
+	if flatDebug && !fs.Current(g) {
+		panic("aspen: flat snapshot is stale for this graph version")
+	}
+}
+
+// Weight returns the weight of edge (u, v) in O(1) tree access.
+func (fs *FlatWeightedSnapshot) Weight(u, v uint32) (float32, bool) {
+	et, ok := fs.EdgeTree(u)
+	if !ok {
+		return 0, false
+	}
+	return et.Find(v)
+}
+
+// ForEachNeighborW applies f to u's (neighbor, weight) pairs in increasing
+// neighbor order until f returns false — the ligra.WeightedGraph capability.
+func (fs *FlatWeightedSnapshot) ForEachNeighborW(u uint32, f func(v uint32, w float32) bool) {
+	fs.ForEachNeighborKV(u, f)
 }

@@ -36,6 +36,7 @@ var Experiments = []Experiment{
 	{"table15", "Tables 14-15: Ligra+ vs Aspen, all algorithms", Table1415},
 	{"ablation-diropt", "Ablation: direction optimization on Aspen BFS/BC", AblationDirOpt},
 	{"sec7.8", "§7.8: live-stream engine, simultaneous updates and queries", Sec78},
+	{"flat", "PR-4: §5.1 flat snapshots — parallel build scaling, flat vs tree kernels", Flat},
 }
 
 // Lookup finds an experiment by ID.

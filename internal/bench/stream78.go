@@ -8,6 +8,7 @@ import (
 	"repro/internal/algos"
 	"repro/internal/aspen"
 	"repro/internal/ctree"
+	"repro/internal/ligra"
 	"repro/internal/rmat"
 	"repro/internal/stream"
 )
@@ -21,7 +22,7 @@ import (
 // cmd/stream.
 func Sec78(w io.Writer, cfg Config) {
 	t := tw(w)
-	fmt.Fprintln(t, "Graph\tUpdates/sec\tCommit p50\tCommit p99\tQuery p50\tQuery p99\tCoalesce\tRetired")
+	fmt.Fprintln(t, "Graph\tUpdates/sec\tCommit p50\tCommit p99\tQuery p50\tQuery p99\tCoalesce\tRetired\tFlat builds/commits")
 	readers := 2
 	batch := uint64(2_000)
 	d := 1 * time.Second
@@ -38,16 +39,22 @@ func Sec78(w io.Writer, cfg Config) {
 				func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) }),
 			Readers: readers,
 			Kernels: []stream.Kernel[aspen.Graph]{
-				{Name: "bfs", Run: func(g aspen.Graph) { algos.BFS(g, 0, false) }},
-				{Name: "cc", Run: func(g aspen.Graph) { algos.ConnectedComponents(g) }},
+				{Name: "bfs",
+					Run:     func(g aspen.Graph) { algos.BFS(g, 0, false) },
+					RunFlat: func(g ligra.Graph) { algos.BFS(g, 0, false) }},
+				{Name: "cc",
+					Run:     func(g aspen.Graph) { algos.ConnectedComponents(g) },
+					RunFlat: func(g ligra.Graph) { algos.ConnectedComponents(g) }},
 			},
 			Duration: d,
+			UseFlat:  true,
 		}
 		rep := wl.Run()
 		e.Close()
-		fmt.Fprintf(t, "%s\t%.3g\t%s\t%s\t%s\t%s\t%.2f\t%d\n", ds.Name,
+		fmt.Fprintf(t, "%s\t%.3g\t%s\t%s\t%s\t%s\t%.2f\t%d\t%d/%d\n", ds.Name,
 			rep.UpdatesPerSec, secs(rep.Commit.P50), secs(rep.Commit.P99),
-			secs(rep.Query.P50), secs(rep.Query.P99), rep.Coalesce, rep.RetiredVersions)
+			secs(rep.Query.P50), secs(rep.Query.P99), rep.Coalesce, rep.RetiredVersions,
+			rep.FlatBuilds, rep.Commits)
 	}
 	t.Flush()
 }

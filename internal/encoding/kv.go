@@ -306,10 +306,12 @@ func readValueAt[V Value](c Chunk, off, w int) V {
 	return readValue[V](c[off:])
 }
 
-// UnionKV merges two chunks into a new chunk via a streaming two-pointer
-// merge: one allocation (the result), no intermediate decode. For ids
-// present in both, the stored value is merge(aVal, bVal); a nil merge keeps
-// b's value (last-writer-wins with b as the newer side).
+// UnionKV merges two chunks into a new chunk: one allocation (the result),
+// no intermediate decode. For ids present in both, the stored value is
+// merge(aVal, bVal); a nil merge keeps b's value (last-writer-wins with b
+// as the newer side). Overlapping ranges dispatch to the open-coded
+// per-codec kernels in unionfast.go; unionKVGeneric below is the reference
+// implementation they are differential-tested against.
 func UnionKV[V Value](codec Codec, a, b Chunk, merge func(av, bv V) V) Chunk {
 	if a.Empty() {
 		return b
@@ -319,6 +321,33 @@ func UnionKV[V Value](codec Codec, a, b Chunk, merge func(av, bv V) V) Chunk {
 	}
 	// Fast path: disjoint ranges concatenate payload bytes without decoding
 	// a single element (values ride along byte-for-byte).
+	if a.Last() < b.First() {
+		return concatDisjoint(codec, a, b)
+	}
+	if b.Last() < a.First() {
+		return concatDisjoint(codec, b, a)
+	}
+	switch codec {
+	case Raw:
+		return unionRawKV(a, b, merge)
+	case Delta:
+		return unionDeltaKV(a, b, merge)
+	default:
+		panic("encoding: unknown codec")
+	}
+}
+
+// unionKVGeneric is the iterator-based streaming merge — the reference the
+// specialized kernels must match byte for byte. It accepts any codec and
+// stays the single implementation set-op correctness arguments are written
+// against.
+func unionKVGeneric[V Value](codec Codec, a, b Chunk, merge func(av, bv V) V) Chunk {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
 	if a.Last() < b.First() {
 		return concatDisjoint(codec, a, b)
 	}

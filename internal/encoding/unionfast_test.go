@@ -1,0 +1,119 @@
+package encoding
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/xhash"
+)
+
+// kvPair builds aligned (ids, vals) inputs deterministically from a seed.
+func kvPair(seed uint64, maxLen int) ([]uint32, []float32) {
+	ids := randomSorted(seed, maxLen)
+	vals := make([]float32, len(ids))
+	for i := range vals {
+		vals[i] = float32(xhash.Seeded(seed, uint64(i))%1000) / 10
+	}
+	return ids, vals
+}
+
+// TestUnionFastMatchesGeneric holds the open-coded Raw and Delta union
+// kernels byte-for-byte equal to the iterator-based generic merge, across
+// payload widths, merge policies and overlap shapes (the generic path is
+// the correctness reference the kernels were derived from).
+func TestUnionFastMatchesGeneric(t *testing.T) {
+	addW := func(a, b float32) float32 { return a + b }
+	for _, codec := range codecs {
+		for seed := uint64(0); seed < 200; seed++ {
+			aIDs, aVals := kvPair(seed, 300)
+			bIDs, bVals := kvPair(seed+10_000, 300)
+
+			// Width 0 (id-only).
+			a0 := EncodeKV[struct{}](codec, aIDs, nil)
+			b0 := EncodeKV[struct{}](codec, bIDs, nil)
+			got := UnionKV[struct{}](codec, a0, b0, nil)
+			want := unionKVGeneric[struct{}](codec, a0, b0, nil)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("codec=%v seed=%d id-only union bytes differ", codec, seed)
+			}
+
+			// Width 4 (float32 payload), LWW and custom merge.
+			a4 := EncodeKV(codec, aIDs, aVals)
+			b4 := EncodeKV(codec, bIDs, bVals)
+			for _, merge := range []func(float32, float32) float32{nil, addW} {
+				got := UnionKV(codec, a4, b4, merge)
+				want := unionKVGeneric(codec, a4, b4, merge)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("codec=%v seed=%d weighted union bytes differ (merge=%v)",
+						codec, seed, merge != nil)
+				}
+			}
+		}
+	}
+}
+
+// TestUnionFastRunShapes exercises the run-copy paths explicitly: block-
+// interleaved inputs (maximal word-wise copies in the Raw kernel, long
+// byte-copy drains in the Delta kernel) and single-element overlaps.
+func TestUnionFastRunShapes(t *testing.T) {
+	shapes := []struct {
+		name string
+		a, b []uint32
+	}{
+		{"blocks", []uint32{1, 2, 3, 100, 101, 102, 500}, []uint32{50, 51, 52, 200, 201, 202}},
+		{"contained", []uint32{10, 90}, []uint32{20, 30, 40, 50, 60, 70, 80}},
+		{"sameset", []uint32{5, 6, 7, 8}, []uint32{5, 6, 7, 8}},
+		{"alternating", []uint32{0, 2, 4, 6, 8}, []uint32{1, 3, 5, 7, 9}},
+		{"touching", []uint32{1, 2, 3}, []uint32{3, 4, 5}},
+		{"singleton", []uint32{7}, []uint32{3, 7, 11}},
+	}
+	for _, codec := range codecs {
+		for _, s := range shapes {
+			a := Encode(codec, s.a)
+			b := Encode(codec, s.b)
+			got := Union(codec, a, b)
+			want := unionKVGeneric[struct{}](codec, a, b, nil)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("codec=%v shape=%s: open-coded union diverges from generic", codec, s.name)
+			}
+			if gotRev := Union(codec, b, a); !equal(gotRev.Decode(codec, nil), got.Decode(codec, nil)) {
+				t.Fatalf("codec=%v shape=%s: union not symmetric on ids", codec, s.name)
+			}
+		}
+	}
+}
+
+// BenchmarkChunkUnionGeneric pins the reference merge loop so the open-coded
+// kernels (BenchmarkChunkUnionFast on identical inputs, and the existing
+// BenchmarkChunkUnion* through UnionKV) have an in-tree baseline.
+func BenchmarkChunkUnionGeneric(b *testing.B) {
+	aIDs := randomSorted(3, 400)
+	bIDs := randomSorted(4, 400)
+	for _, codec := range codecs {
+		b.Run(codec.String(), func(b *testing.B) {
+			ac := Encode(codec, aIDs)
+			bc := Encode(codec, bIDs)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				unionKVGeneric[struct{}](codec, ac, bc, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkChunkUnionFast measures the dispatched open-coded kernels on the
+// same inputs as BenchmarkChunkUnionGeneric.
+func BenchmarkChunkUnionFast(b *testing.B) {
+	aIDs := randomSorted(3, 400)
+	bIDs := randomSorted(4, 400)
+	for _, codec := range codecs {
+		b.Run(codec.String(), func(b *testing.B) {
+			ac := Encode(codec, aIDs)
+			bc := Encode(codec, bIDs)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Union(codec, ac, bc)
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ package ligra
 
 import (
 	"slices"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -37,6 +38,19 @@ type ParallelNeighborGraph interface {
 	// ForEachNeighborPar applies f to every neighbor of u, possibly in
 	// parallel; f must be safe for concurrent use.
 	ForEachNeighborPar(u uint32, f func(v uint32))
+}
+
+// FlatGraph is the §5.1 flat-snapshot capability: engines backed by a dense
+// id-indexed view (aspen.FlatSnapshot and friends) expose their degree
+// array, and EdgeMap routes both directions through it — O(1) degree access
+// without an interface call per vertex, and exact (not estimated)
+// work-based granularity in the parallel scheduler, since block boundaries
+// can be placed on real degree prefix sums.
+type FlatGraph interface {
+	Graph
+	// Degrees returns the id-indexed degree array, length Order(). Callers
+	// must treat it as read-only.
+	Degrees() []int32
 }
 
 // parDegreeThreshold is the degree above which sparse EdgeMap uses
@@ -205,9 +219,7 @@ func EdgeMap(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(v uin
 	}
 	if !opts.NoDense {
 		sp := u.ToSparse()
-		outDeg := parallel.ReduceUint64(len(sp.sparse), 0,
-			func(i int) uint64 { return uint64(g.Degree(sp.sparse[i])) },
-			func(a, b uint64) uint64 { return a + b })
+		outDeg := degreeSum(g, sp.sparse)
 		if uint64(u.Size())+outDeg > g.NumEdges()/div {
 			return edgeMapDense(g, u, f, c)
 		}
@@ -216,24 +228,102 @@ func EdgeMap(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(v uin
 	return edgeMapSparse(g, u.ToSparse(), f, c)
 }
 
-// edgeMapSparse maps over the out-edges of the frontier, collecting targets.
-func edgeMapSparse(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(v uint32) bool) VertexSubset {
-	png, hasPar := g.(ParallelNeighborGraph)
-	src := u.sparse
-	nb := parallel.Procs * 4
+// degreeSum sums the degrees of ids. On a FlatGraph the sum indexes the
+// dense degree array directly — no interface call per vertex.
+func degreeSum(g Graph, ids []uint32) uint64 {
+	if fg, ok := g.(FlatGraph); ok {
+		degs := fg.Degrees()
+		return parallel.ReduceUint64(len(ids), 0,
+			func(i int) uint64 {
+				if v := ids[i]; int(v) < len(degs) {
+					return uint64(degs[v])
+				}
+				return 0
+			},
+			func(a, b uint64) uint64 { return a + b })
+	}
+	return parallel.ReduceUint64(len(ids), 0,
+		func(i int) uint64 { return uint64(g.Degree(ids[i])) },
+		func(a, b uint64) uint64 { return a + b })
+}
+
+// frontierBlocks partitions the frontier src into up to maxBlocks contiguous
+// ranges. With a degree array the boundaries fall on prefix sums of
+// (degree + 1) — exact work-based granularity, so one block of hubs does not
+// serialize the map while equal-count blocks of leaves sit idle. Without one
+// it falls back to equal-count ranges. Returns the block boundary indexes
+// (len = blocks + 1).
+func frontierBlocks(degs []int32, src []uint32, maxBlocks int) []int {
+	nb := maxBlocks
 	if nb > len(src) {
 		nb = len(src)
 	}
-	if nb == 0 {
+	if nb <= 0 {
+		return nil
+	}
+	bounds := make([]int, nb+1)
+	bounds[nb] = len(src)
+	// Equal-count split when there is no degree array — and when every
+	// vertex gets its own block anyway (nb == len(src), i.e. a frontier no
+	// larger than the block budget): the work-based partition cannot differ
+	// from the trivial one there, so skip the prefix scan. BFS tails and
+	// heads hit this every round.
+	if degs == nil || nb == 1 || nb == len(src) {
+		sz := (len(src) + nb - 1) / nb
+		for b := 1; b < nb; b++ {
+			bounds[b] = min(b*sz, len(src))
+		}
+		return bounds
+	}
+	// Exclusive prefix sums of per-vertex cost (degree + 1: a zero-degree
+	// vertex still costs the visit), in pooled scratch so the per-round
+	// partitioning stays allocation-free on the EdgeMap hot path.
+	wp := workPool.Get().(*[]uint64)
+	work := *wp
+	if cap(work) < len(src) {
+		work = make([]uint64, len(src))
+	} else {
+		work = work[:len(src)]
+	}
+	parallel.For(len(src), func(i int) {
+		var d uint64
+		if v := src[i]; int(v) < len(degs) {
+			d = uint64(degs[v])
+		}
+		work[i] = d + 1
+	})
+	total := parallel.ScanExclusive(work)
+	for b := 1; b < nb; b++ {
+		target := total / uint64(nb) * uint64(b)
+		bounds[b] = sort.Search(len(src), func(i int) bool { return work[i] >= target })
+	}
+	*wp = work[:0]
+	workPool.Put(wp)
+	return bounds
+}
+
+// workPool recycles frontierBlocks' prefix-sum scratch (pointers pooled so
+// Put does not allocate).
+var workPool = sync.Pool{New: func() any { b := make([]uint64, 0, 4096); return &b }}
+
+// edgeMapSparse maps over the out-edges of the frontier, collecting targets.
+// On a FlatGraph the frontier is partitioned by exact degree prefix sums
+// rather than equal vertex counts (see frontierBlocks).
+func edgeMapSparse(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(v uint32) bool) VertexSubset {
+	png, hasPar := g.(ParallelNeighborGraph)
+	var degs []int32
+	if fg, ok := g.(FlatGraph); ok {
+		degs = fg.Degrees()
+	}
+	src := u.sparse
+	bounds := frontierBlocks(degs, src, parallel.Procs*4)
+	nb := len(bounds) - 1
+	if nb <= 0 {
 		return Empty(u.n)
 	}
 	buffers := make([][]uint32, nb)
-	sz := (len(src) + nb - 1) / nb
 	parallel.ForGrain(nb, 1, func(b int) {
-		lo, hi := b*sz, (b+1)*sz
-		if hi > len(src) {
-			hi = len(src)
-		}
+		lo, hi := bounds[b], bounds[b+1]
 		if lo >= hi {
 			return
 		}
@@ -279,9 +369,18 @@ func edgeMapSparse(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func
 // turns false.
 func edgeMapDense(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(v uint32) bool) VertexSubset {
 	ud := u.ToDense()
+	var degs []int32
+	if fg, ok := g.(FlatGraph); ok {
+		degs = fg.Degrees()
+	}
 	out := make([]bool, ud.n)
 	var count atomic.Int64
 	parallel.ForGrain(ud.n, 256, func(i int) {
+		// O(1) degree probe: a vertex with no neighbors cannot pull anything,
+		// so skip it before paying the condition and the edge-tree dispatch.
+		if degs != nil && i < len(degs) && degs[i] == 0 {
+			return
+		}
 		v := uint32(i)
 		if !c(v) {
 			return
@@ -302,7 +401,5 @@ func edgeMapDense(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(
 // EdgeCount sums the degrees of the subset (used by tests and schedulers).
 func EdgeCount(g Graph, u VertexSubset) uint64 {
 	sp := u.ToSparse()
-	return parallel.ReduceUint64(len(sp.sparse), 0,
-		func(i int) uint64 { return uint64(g.Degree(sp.sparse[i])) },
-		func(a, b uint64) uint64 { return a + b })
+	return degreeSum(g, sp.sparse)
 }

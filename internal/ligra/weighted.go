@@ -19,6 +19,17 @@ type WeightedGraph interface {
 	ForEachNeighborW(u uint32, f func(v uint32, w float32) bool)
 }
 
+// FlatWeightedGraph is the weighted flat-snapshot capability
+// (aspen.FlatWeightedSnapshot): a dense id-indexed degree array over a
+// weighted adjacency, giving WeightedEdgeMap the same O(1) degree access
+// and exact work-based scheduling as FlatGraph gives EdgeMap.
+type FlatWeightedGraph interface {
+	WeightedGraph
+	// Degrees returns the id-indexed degree array, length Order(). Callers
+	// must treat it as read-only.
+	Degrees() []int32
+}
+
 // WeightedEdgeMap applies F over weighted edges (u, v, w) with u in subset
 // U and C(v) true, and returns the subset of targets v for which F returned
 // true. The contract mirrors EdgeMap (§2): F must be safe for concurrent
@@ -37,9 +48,7 @@ func WeightedEdgeMap(g WeightedGraph, u VertexSubset, f func(src, dst uint32, w 
 	}
 	if !opts.NoDense {
 		sp := u.ToSparse()
-		outDeg := parallel.ReduceUint64(len(sp.sparse), 0,
-			func(i int) uint64 { return uint64(g.Degree(sp.sparse[i])) },
-			func(a, b uint64) uint64 { return a + b })
+		outDeg := degreeSum(g, sp.sparse)
 		if uint64(u.Size())+outDeg > g.NumEdges()/div {
 			return weightedEdgeMapDense(g, u, f, c)
 		}
@@ -49,23 +58,22 @@ func WeightedEdgeMap(g WeightedGraph, u VertexSubset, f func(src, dst uint32, w 
 }
 
 // weightedEdgeMapSparse maps over the out-edges of the frontier, collecting
-// targets.
+// targets. On a FlatWeightedGraph the frontier is partitioned by exact
+// degree prefix sums (see frontierBlocks).
 func weightedEdgeMapSparse(g WeightedGraph, u VertexSubset, f func(src, dst uint32, w float32) bool, c func(v uint32) bool) VertexSubset {
-	src := u.sparse
-	nb := parallel.Procs * 4
-	if nb > len(src) {
-		nb = len(src)
+	var degs []int32
+	if fg, ok := g.(FlatWeightedGraph); ok {
+		degs = fg.Degrees()
 	}
-	if nb == 0 {
+	src := u.sparse
+	bounds := frontierBlocks(degs, src, parallel.Procs*4)
+	nb := len(bounds) - 1
+	if nb <= 0 {
 		return Empty(u.n)
 	}
 	buffers := make([][]uint32, nb)
-	sz := (len(src) + nb - 1) / nb
 	parallel.ForGrain(nb, 1, func(b int) {
-		lo, hi := b*sz, (b+1)*sz
-		if hi > len(src) {
-			hi = len(src)
-		}
+		lo, hi := bounds[b], bounds[b+1]
 		if lo >= hi {
 			return
 		}
@@ -96,9 +104,16 @@ func weightedEdgeMapSparse(g WeightedGraph, u VertexSubset, f func(src, dst uint
 // once C(v) turns false.
 func weightedEdgeMapDense(g WeightedGraph, u VertexSubset, f func(src, dst uint32, w float32) bool, c func(v uint32) bool) VertexSubset {
 	ud := u.ToDense()
+	var degs []int32
+	if fg, ok := g.(FlatWeightedGraph); ok {
+		degs = fg.Degrees()
+	}
 	out := make([]bool, ud.n)
 	var count atomic.Int64
 	parallel.ForGrain(ud.n, 256, func(i int) {
+		if degs != nil && i < len(degs) && degs[i] == 0 {
+			return
+		}
 		v := uint32(i)
 		if !c(v) {
 			return

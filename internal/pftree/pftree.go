@@ -484,6 +484,34 @@ func (o *Ops[K, V, A]) forEachIndexed(t *Node[K, V, A], offset int, f func(int, 
 	)
 }
 
+// ForEachRankRange applies f, in key order, to every entry whose in-order
+// rank lies in [lo, hi), stopping early if f returns false; it reports
+// whether the traversal ran to completion. The size augmentation prunes the
+// descent, so one call costs O(hi - lo + log n) — partitioning [0, Size())
+// into per-worker rank ranges and issuing one call per worker yields an
+// indexed parallel traversal with O(n) total work and O(n/P + log n) depth,
+// the schedule flat-snapshot construction uses (paper §5.1).
+func (o *Ops[K, V, A]) ForEachRankRange(t *Node[K, V, A], lo, hi int, f func(K, V) bool) bool {
+	if t == nil || hi <= lo || hi <= 0 || lo >= t.Size() {
+		return true
+	}
+	ls := t.left.Size()
+	if lo < ls {
+		if !o.ForEachRankRange(t.left, lo, min(hi, ls), f) {
+			return false
+		}
+	}
+	if lo <= ls && ls < hi {
+		if !f(t.key, t.val) {
+			return false
+		}
+	}
+	if hi > ls+1 {
+		return o.ForEachRankRange(t.right, max(lo-ls-1, 0), hi-ls-1, f)
+	}
+	return true
+}
+
 // Select returns the i-th entry (0-based) in key order.
 func (o *Ops[K, V, A]) Select(t *Node[K, V, A], i int) (*Node[K, V, A], bool) {
 	for t != nil {

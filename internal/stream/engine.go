@@ -39,6 +39,11 @@ type Options struct {
 	// together (a single larger batch still commits, alone). Default
 	// 1 << 20.
 	MaxCoalesceEdges int
+	// PrebuildFlat builds each committed version's flat view on the ingest
+	// goroutine immediately after publish, so the first reader of every
+	// version finds it cached instead of paying the O(n) build inside its
+	// query. Off by default: views build lazily on the first Tx.Flat.
+	PrebuildFlat bool
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +77,11 @@ type Engine[G ligra.Graph, E any] struct {
 	remove func(G, []E) G
 	opts   Options
 
+	// flat caches one §5.1 flat view per live version (see flatcache.go);
+	// userRetire is the client hook chained after the cache drop.
+	flat       flatCache[G]
+	userRetire func(stamp uint64)
+
 	mu     sync.RWMutex // guards closed and the queue close
 	closed bool
 	queue  chan pending[E]
@@ -95,31 +105,53 @@ func New[G ligra.Graph, E any](g G, insert, remove func(G, []E) G, opts Options)
 		opts:   opts.withDefaults(),
 	}
 	e.queue = make(chan pending[E], e.opts.QueueCap)
+	// The engine owns the registry's retire hook: it drops the version's
+	// cached flat view first, then forwards to the client hook.
+	e.reg.SetRetireHook(func(stamp uint64) {
+		e.flat.drop(stamp)
+		if fn := e.userRetire; fn != nil {
+			fn(stamp)
+		}
+	})
 	e.wg.Add(1)
 	go e.loop()
 	return e
 }
 
-// NewGraphEngine serves an unweighted aspen.Graph.
+// NewGraphEngine serves an unweighted aspen.Graph with the §5.1 flat-view
+// cache wired to aspen.BuildFlatSnapshot.
 func NewGraphEngine(g aspen.Graph, opts Options) *Engine[aspen.Graph, aspen.Edge] {
-	return New(g,
+	e := New(g,
 		func(g aspen.Graph, b []aspen.Edge) aspen.Graph { return g.InsertEdges(b) },
 		func(g aspen.Graph, b []aspen.Edge) aspen.Graph { return g.DeleteEdges(b) },
 		opts)
+	e.SetFlatten(func(g aspen.Graph) ligra.Graph { return aspen.BuildFlatSnapshot(g) })
+	return e
 }
 
-// NewWeightedEngine serves an aspen.WeightedGraph.
+// NewWeightedEngine serves an aspen.WeightedGraph with the flat-view cache
+// wired to aspen.BuildFlatWeightedSnapshot (the returned views satisfy
+// ligra.FlatWeightedGraph, so weighted kernels can type-assert for
+// ForEachNeighborW).
 func NewWeightedEngine(g aspen.WeightedGraph, opts Options) *Engine[aspen.WeightedGraph, aspen.WeightedEdge] {
-	return New(g,
+	e := New(g,
 		func(g aspen.WeightedGraph, b []aspen.WeightedEdge) aspen.WeightedGraph { return g.InsertEdges(b) },
 		func(g aspen.WeightedGraph, b []aspen.WeightedEdge) aspen.WeightedGraph { return g.DeleteEdges(b) },
 		opts)
+	e.SetFlatten(func(g aspen.WeightedGraph) ligra.Graph { return aspen.BuildFlatWeightedSnapshot(g) })
+	return e
 }
 
+// SetFlatten registers the snapshot-to-flat-view builder behind Tx.Flat.
+// Nil disables the cache (Flat then returns the tree view). Must be called
+// before the first Submit or Begin; the graph-flavored constructors
+// register the aspen builders automatically.
+func (e *Engine[G, E]) SetFlatten(fn func(G) ligra.Graph) { e.flat.flatten = fn }
+
 // OnRetire registers fn to run when a superseded version's last reader
-// drops it (see aspen.Versioned.SetRetireHook). Call before the first
-// Submit.
-func (e *Engine[G, E]) OnRetire(fn func(stamp uint64)) { e.reg.SetRetireHook(fn) }
+// drops it (after the engine evicts the version's cached flat view; see
+// aspen.Versioned.SetRetireHook). Call before the first Submit.
+func (e *Engine[G, E]) OnRetire(fn func(stamp uint64)) { e.userRetire = fn }
 
 // Pending is a handle to a submitted batch; Wait blocks until the batch is
 // part of a published version and returns that version's stamp.
@@ -262,6 +294,7 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 			}
 			runs = append(runs, run[E]{del: b.del, edges: b.edges})
 		}
+		var committed G
 		stamp = e.reg.Update(func(g G) G {
 			for _, r := range runs {
 				if r.del {
@@ -270,9 +303,15 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 					g = e.insert(g, r.edges)
 				}
 			}
+			committed = g
 			return g
 		})
 		e.commits.Add(1)
+		if e.opts.PrebuildFlat {
+			// Build-on-commit: the ingest goroutine still holds the freshly
+			// published version current, so the stamp cannot retire under us.
+			e.flat.viewOf(stamp, committed)
+		}
 	}
 	// Counters and latencies first, acks last: a waiter woken by its ack
 	// must observe the commit already reflected in Stats. Zero-edge
@@ -311,6 +350,12 @@ type Stats struct {
 	// still pinned (plus the current one) and versions fully released.
 	LiveVersions    int64  `json:"live_versions"`
 	RetiredVersions uint64 `json:"retired_versions"`
+	// FlatBuilds / FlatHits account the flat-view cache: views materialized
+	// (at most one per version) and Tx.Flat calls served from cache.
+	// FlatCached is the number of views currently held (≤ LiveVersions).
+	FlatBuilds uint64 `json:"flat_builds"`
+	FlatHits   uint64 `json:"flat_hits"`
+	FlatCached int    `json:"flat_cached"`
 	// Commit digests the enqueue-to-visible latency of committed batches.
 	Commit LatencySummary `json:"commit"`
 }
@@ -334,6 +379,9 @@ func (e *Engine[G, E]) Stats() Stats {
 		QueueDepth:      len(e.queue),
 		LiveVersions:    e.reg.LiveVersions(),
 		RetiredVersions: e.reg.RetiredVersions(),
+		FlatBuilds:      e.flat.builds.Load(),
+		FlatHits:        e.flat.hits.Load(),
+		FlatCached:      e.flat.size(),
 		Commit:          e.commitHist.Summary(),
 	}
 }

@@ -35,6 +35,50 @@ func BenchmarkHistObserve(b *testing.B) {
 	}
 }
 
+// BenchmarkTxFlatCached measures the steady-state cost of taking a read
+// transaction on the §5.1 flat fast path: Begin + cached-Flat + Close. The
+// view is built once per version, so after the first iteration every call
+// is a cache hit — the map probe must stay cheap and allocation-free
+// (gated in CI alongside TxBeginClose).
+func BenchmarkTxFlatCached(b *testing.B) {
+	gen := rmat.NewGenerator(16, 99)
+	g := aspen.NewGraph(ctree.DefaultParams()).InsertEdges(aspen.MakeUndirected(gen.Edges(0, 50_000)))
+	e := NewGraphEngine(g, Options{})
+	defer e.Close()
+	warm := e.Begin()
+	warm.Flat() // pay the single per-version build outside the loop
+	warm.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := e.Begin()
+		tx.Flat()
+		tx.Close()
+	}
+}
+
+// BenchmarkFlatCacheFirstQuery measures the cold path: the first query
+// after a commit pays one flat build for its version (amortized across all
+// later readers of the same version).
+func BenchmarkFlatCacheFirstQuery(b *testing.B) {
+	gen := rmat.NewGenerator(16, 99)
+	g := aspen.NewGraph(ctree.DefaultParams()).InsertEdges(aspen.MakeUndirected(gen.Edges(0, 50_000)))
+	e := NewGraphEngine(g, Options{})
+	defer e.Close()
+	batch := aspen.MakeUndirected(gen.Edges(50_000, 50_500))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := e.Insert(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Wait()
+		tx := e.Begin()
+		tx.Flat()
+		tx.Close()
+	}
+}
+
 // BenchmarkEngineCommit measures end-to-end ingest through the queue and
 // single-writer loop: submit one batch, wait for its commit. The per-batch
 // engine overhead (queue, coalescing bookkeeping, ack) rides on top of the

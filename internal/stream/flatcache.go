@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ligra"
+)
+
+// flatCache caches one flat view (§5.1 flat snapshot) per published
+// version, keyed by stamp. A version's view is built at most once —
+// whichever reader (or the ingest loop, with Options.PrebuildFlat) gets
+// there first builds it under the entry's sync.Once, every other
+// transaction pinning that version shares the result — and the entry is
+// dropped by the engine's retire hook exactly when the version's last
+// reader finishes, so the dense arrays live no longer than the snapshot
+// they index (ROADMAP (k)).
+type flatCache[G any] struct {
+	// flatten materializes the flat view of a snapshot; nil disables the
+	// cache (Tx.Flat then falls back to the tree view).
+	flatten func(G) ligra.Graph
+
+	mu sync.Mutex
+	m  map[uint64]*flatEntry
+
+	builds atomic.Uint64 // views materialized (≤ one per version)
+	hits   atomic.Uint64 // Flat calls served from the cache
+}
+
+// flatEntry is the build-at-most-once slot of one version.
+type flatEntry struct {
+	once sync.Once
+	view ligra.Graph
+}
+
+// viewOf returns the flat view of the version (stamp, g), building it on
+// first use. Callers must hold a pin on the version (a Tx, or the ingest
+// loop right after publishing it), which is what keeps viewOf ordered
+// before the retire-hook drop. Returns nil when no flatten is registered.
+func (c *flatCache[G]) viewOf(stamp uint64, g G) ligra.Graph {
+	if c.flatten == nil {
+		return nil
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[uint64]*flatEntry)
+	}
+	e := c.m[stamp]
+	if e == nil {
+		e = &flatEntry{}
+		c.m[stamp] = e
+	}
+	c.mu.Unlock()
+	built := false
+	e.once.Do(func() {
+		e.view = c.flatten(g)
+		c.builds.Add(1)
+		built = true
+	})
+	if !built {
+		c.hits.Add(1)
+	}
+	return e.view
+}
+
+// drop forgets the version's cached view. Called from the retire hook; the
+// version has no readers left, so nobody can be inside viewOf for it.
+func (c *flatCache[G]) drop(stamp uint64) {
+	c.mu.Lock()
+	delete(c.m, stamp)
+	c.mu.Unlock()
+}
+
+// size returns the number of cached views (for stats and tests).
+func (c *flatCache[G]) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

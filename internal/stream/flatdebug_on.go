@@ -1,0 +1,10 @@
+//go:build aspendebug
+
+package stream
+
+// flatDebug gates the Tx.Flat stale-view assertion. Built with
+// -tags aspendebug, every Flat call verifies the cached view was built
+// from exactly the snapshot the transaction pins (via the view's
+// MustCurrent), so a cache bug that hands a view across versions panics
+// in the race job instead of silently answering for the wrong version.
+const flatDebug = true

@@ -13,7 +13,12 @@ import (
 // algos kernel (BFS, CC, SSSP, ...) closed over its parameters.
 type Kernel[G ligra.Graph] struct {
 	Name string
-	Run  func(g G)
+	// Run executes the kernel against the pinned tree snapshot.
+	Run func(g G)
+	// RunFlat, when set and the workload has UseFlat, executes against the
+	// transaction's cached flat view (Tx.Flat) instead — the §5.1 fast path.
+	// Weighted kernels type-assert the view to ligra.FlatWeightedGraph.
+	RunFlat func(g ligra.Graph)
 }
 
 // Workload drives the paper's §7.8 experiment against a live engine: one
@@ -38,6 +43,9 @@ type Workload[G ligra.Graph, E any] struct {
 	// rate). Zero saturates: submit as fast as the queue accepts
 	// (latency then includes queue backpressure).
 	Interval time.Duration
+	// UseFlat routes kernels that define RunFlat through the per-version
+	// cached flat view; kernels without RunFlat keep the tree snapshot.
+	UseFlat bool
 }
 
 // UpdateSchedule returns the §7.8 writer schedule shared by cmd/stream
@@ -93,6 +101,12 @@ type Report struct {
 	LiveVersions    int64  `json:"live_versions"`
 	RetiredVersions uint64 `json:"retired_versions"`
 	FinalStamp      uint64 `json:"final_stamp"`
+
+	// FlatBuilds / FlatHits prove the flat-cache contract under load: with
+	// flat kernels, builds ≤ versions published + 1 (at most one build per
+	// committed version) while hits cover every other query.
+	FlatBuilds uint64 `json:"flat_builds"`
+	FlatHits   uint64 `json:"flat_hits"`
 }
 
 // Run executes the workload and reports. The engine is flushed but left
@@ -123,7 +137,11 @@ func (w *Workload[G, E]) Run() Report {
 				k := w.Kernels[i%len(w.Kernels)]
 				t0 := time.Now()
 				tx := w.Engine.Begin()
-				k.Run(tx.Graph())
+				if w.UseFlat && k.RunFlat != nil {
+					k.RunFlat(tx.Flat())
+				} else {
+					k.Run(tx.Graph())
+				}
 				tx.Close()
 				d := time.Since(t0)
 				queryHist.Observe(d)
@@ -180,6 +198,8 @@ func (w *Workload[G, E]) Run() Report {
 		LiveVersions:    st.LiveVersions,
 		RetiredVersions: st.RetiredVersions,
 		FinalStamp:      stamp,
+		FlatBuilds:      st.FlatBuilds,
+		FlatHits:        st.FlatHits,
 	}
 	for _, k := range kh {
 		rep.PerKernel = append(rep.PerKernel, KernelStat{Name: k.name, Latency: k.hist.Summary()})

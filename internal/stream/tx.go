@@ -14,17 +14,45 @@ import (
 type Tx[G ligra.Graph] struct {
 	v   *aspen.Version[G]
 	reg *aspen.Versioned[G]
+	fc  *flatCache[G]
 }
 
 // Begin pins the latest published version and returns a transaction over
 // it. Lock-free; never blocked by the writer or other readers.
 func (e *Engine[G, E]) Begin() Tx[G] {
-	return Tx[G]{v: e.reg.Acquire(), reg: e.reg}
+	return Tx[G]{v: e.reg.Acquire(), reg: e.reg, fc: &e.flat}
 }
 
 // Graph returns the pinned immutable snapshot. Any algos kernel accepting
 // the ligra traversal interfaces runs against it directly.
 func (t *Tx[G]) Graph() G { return t.v.Graph }
+
+// Flat returns the §5.1 flat view of the pinned version — the default fast
+// path for global kernels (O(1) degree and edge-tree access instead of the
+// O(log n) vertex-tree lookup). The view is cached per version: it is built
+// at most once, by whichever transaction (or the ingest loop, under
+// Options.PrebuildFlat) asks first, and shared by every transaction pinning
+// the same version until the version retires. When the engine has no
+// flatten registered it falls back to the tree snapshot. Like Graph, the
+// result must not be used after Close. The returned view also satisfies
+// ligra.FlatGraph (and, for weighted engines, ligra.FlatWeightedGraph).
+func (t *Tx[G]) Flat() ligra.Graph {
+	if t.fc != nil {
+		if view := t.fc.viewOf(t.v.Stamp, t.v.Graph); view != nil {
+			if flatDebug {
+				// aspendebug builds: a cached view handed to this
+				// transaction must have been built from exactly the pinned
+				// snapshot (aspen.FlatSnapshot.MustCurrent panics
+				// otherwise). Compiled away in release builds.
+				if c, ok := view.(interface{ MustCurrent(G) }); ok {
+					c.MustCurrent(t.v.Graph)
+				}
+			}
+			return view
+		}
+	}
+	return t.v.Graph
+}
 
 // Stamp returns the pinned version's sequence number.
 func (t *Tx[G]) Stamp() uint64 { return t.v.Stamp }
