@@ -8,6 +8,14 @@
 //	stream -weighted -algos bfs,sssp -readers 4
 //	stream -quick -json BENCH_pr3_stream.json -merge bench_snap.json
 //
+// With -shards the driver instead runs the PR-5 sharded-ingest sweep
+// (shard counts × reader counts × saturated, plus paced when -interval is
+// set), comparing multi-writer clusters against the single-engine
+// baseline (shard count 1):
+//
+//	stream -scale 16 -init 500000 -shards 1,2,4 -readers 1,4 -interval 20ms
+//	stream -quick -shards 2 -partition hash -priority 64
+//
 // With -json the results are written as a BENCH_*.json document; -merge
 // folds the "benchmarks" array of an existing snapshot (produced with
 // `cmd/benchdiff -out`) into the same file so one document carries both
@@ -30,6 +38,7 @@ import (
 	"repro/internal/ctree"
 	"repro/internal/ligra"
 	"repro/internal/rmat"
+	"repro/internal/shard"
 	"repro/internal/stream"
 	"repro/internal/xhash"
 )
@@ -49,6 +58,9 @@ func main() {
 		flat     = flag.Bool("flat", true, "run kernels on the per-version cached flat view (§5.1)")
 		prebuild = flag.Bool("prebuild-flat", false, "build each version's flat view on commit instead of lazily on first query")
 		interval = flag.Duration("interval", 0, "pace the writer to one batch per interval (0 = saturate)")
+		shards   = flag.String("shards", "", "comma list of shard counts: run the PR-5 sharded-ingest sweep instead of the single-engine sweep (1 = plain engine baseline)")
+		partKind = flag.String("partition", "range", "shard partitioner: range or hash")
+		priority = flag.Int("priority", 0, "priority-lane threshold in edges (0 disables the small-batch lane)")
 		quick    = flag.Bool("quick", false, "tiny smoke-test configuration")
 		jsonOut  = flag.String("json", "", "write results as a BENCH_*.json document")
 		jsonTag  = flag.String("tag", "stream", "tag recorded in the -json document")
@@ -94,23 +106,41 @@ func main() {
 	cfg := config{
 		Scale: *scale, InitEdges: *initE, Batch: *batch, Weighted: *weighted,
 		Algos: *algoList, QueueCap: *queueCap, MaxCoalesce: *coalesce,
-		Flat: *flat, PrebuildFlat: *prebuild,
+		Flat: *flat, PrebuildFlat: *prebuild, Priority: *priority,
+		Partition:  *partKind,
 		DurationNS: duration.Nanoseconds(), IntervalNS: interval.Nanoseconds(),
 		Seed: *seed, Procs: runtime.GOMAXPROCS(0),
 	}
 	fmt.Printf("stream: scale=%d init=%d batch=%d weighted=%v algos=%s flat=%v procs=%d\n",
 		*scale, *initE, *batch, *weighted, *algoList, *flat, cfg.Procs)
 
+	if *shards != "" {
+		shardCounts, err := parseInts(*shards)
+		if err != nil {
+			fatal("bad -shards: %v", err)
+		}
+		sruns := shardSweep(cfg, shardCounts, readerCounts, *duration, time.Duration(cfg.IntervalNS))
+		if *jsonOut != "" {
+			writeShardJSON(*jsonOut, *jsonTag, *mergeIn, cfg, sruns)
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return
+	}
+
 	var runs []runResult
+	addRun := func(rr runResult) {
+		printRun(rr.Name, rr.Report)
+		runs = append(runs, rr)
+	}
 	if *isolate {
-		runs = append(runs, oneRun(cfg, 0, "update-only", *duration, true))
+		addRun(oneRun(cfg, 0, "update-only", *duration, true))
 	}
 	for _, r := range readerCounts {
-		runs = append(runs, oneRun(cfg, r, fmt.Sprintf("%d readers", r), *duration, true))
+		addRun(oneRun(cfg, r, fmt.Sprintf("%d readers", r), *duration, true))
 	}
 	if *isolate {
 		last := readerCounts[len(readerCounts)-1]
-		runs = append(runs, oneRun(cfg, last, fmt.Sprintf("query-only (%d readers)", last), *duration, false))
+		addRun(oneRun(cfg, last, fmt.Sprintf("query-only (%d readers)", last), *duration, false))
 	}
 
 	if *jsonOut != "" {
@@ -130,6 +160,8 @@ type config struct {
 	MaxCoalesce  int    `json:"max_coalesce"`
 	Flat         bool   `json:"flat"`
 	PrebuildFlat bool   `json:"prebuild_flat"`
+	Priority     int    `json:"priority_edges"`
+	Partition    string `json:"partition"`
 	DurationNS   int64  `json:"duration_ns"`
 	IntervalNS   int64  `json:"interval_ns"`
 	Seed         uint64 `json:"seed"`
@@ -165,7 +197,8 @@ func weightedBatch(gen rmat.Generator, lo, hi uint64) []aspen.WeightedEdge {
 // query-latency baseline).
 func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bool) runResult {
 	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
-	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce, PrebuildFlat: cfg.PrebuildFlat}
+	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce,
+		PrebuildFlat: cfg.PrebuildFlat, PriorityEdges: cfg.Priority}
 	var rep stream.Report
 	if cfg.Weighted {
 		g := aspen.NewWeightedGraph().InsertEdges(weightedBatch(gen, 0, cfg.InitEdges))
@@ -202,7 +235,6 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 		rep = w.Run()
 		e.Close()
 	}
-	printRun(name, rep)
 	return runResult{Name: name, Report: rep}
 }
 
@@ -262,6 +294,213 @@ func weightedKernels(cfg config) []stream.Kernel[aspen.WeightedGraph] {
 		}
 	}
 	return ks
+}
+
+// shardRunResult is one entry of the PR-5 sharded sweep.
+type shardRunResult struct {
+	Name   string       `json:"name"`
+	Shards int          `json:"shards"`
+	Report shard.Report `json:"report"`
+}
+
+// shardSweep runs the PR-5 experiment: shard counts × reader counts ×
+// {saturated, paced (when -interval is set)}. Shard count 1 runs the plain
+// single engine — the baseline every speedup is quoted against.
+func shardSweep(cfg config, shardCounts, readerCounts []int, d, interval time.Duration) []shardRunResult {
+	var out []shardRunResult
+	paceModes := []time.Duration{0}
+	if interval > 0 {
+		paceModes = append(paceModes, interval)
+	}
+	for _, pace := range paceModes {
+		mode := "saturated"
+		if pace > 0 {
+			mode = fmt.Sprintf("paced %v", pace)
+		}
+		for _, r := range readerCounts {
+			// Speedups are quoted against the single-engine run of the
+			// same reader count and pace mode — like against like.
+			var base float64
+			for _, s := range shardCounts {
+				name := fmt.Sprintf("%d shards, %d readers, %s", s, r, mode)
+				var rep shard.Report
+				if s <= 1 {
+					name = fmt.Sprintf("single engine, %d readers, %s", r, mode)
+					rep = oneShardRunSingle(cfg, r, d, pace)
+					base = rep.UpdatesPerSec
+				} else {
+					rep = oneShardRun(cfg, s, r, d, pace)
+				}
+				printShardRun(name, rep, base)
+				out = append(out, shardRunResult{Name: name, Shards: max(s, 1), Report: rep})
+			}
+		}
+	}
+	return out
+}
+
+// shardPartitioner builds the requested partitioner over the id space.
+func shardPartitioner(cfg config, s int) shard.Partitioner {
+	if cfg.Partition == "hash" {
+		return shard.NewHashPartitioner(s)
+	}
+	return shard.NewRangePartitioner(s, uint32(1)<<cfg.Scale)
+}
+
+// shardKernels adapts the -algos list to sharded views (both tree and
+// stitched flat arrive as ligra.Graph; weighted kernels type-assert).
+func shardKernels(cfg config) []shard.Kernel {
+	n := uint32(1) << cfg.Scale
+	var ks []shard.Kernel
+	for _, a := range strings.Split(cfg.Algos, ",") {
+		switch strings.TrimSpace(a) {
+		case "bfs":
+			src := srcCycler(n)
+			ks = append(ks, shard.Kernel{Name: "bfs",
+				Run: func(g ligra.Graph) { algos.BFS(g, src(), false) }})
+		case "cc":
+			ks = append(ks, shard.Kernel{Name: "cc",
+				Run: func(g ligra.Graph) { algos.ConnectedComponents(g) }})
+		case "sssp":
+			if !cfg.Weighted {
+				fatal("sssp requires -weighted")
+			}
+			src := srcCycler(n)
+			ks = append(ks, shard.Kernel{Name: "sssp",
+				Run: func(g ligra.Graph) { algos.SSSP(g.(ligra.WeightedGraph), src()) }})
+		default:
+			fatal("unknown algo %q", a)
+		}
+	}
+	return ks
+}
+
+// oneShardRun executes one sharded run at s shards.
+func oneShardRun(cfg config, s, readers int, d, pace time.Duration) shard.Report {
+	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
+	part := shardPartitioner(cfg, s)
+	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce,
+		PrebuildFlat: cfg.PrebuildFlat, PriorityEdges: cfg.Priority}
+	if cfg.Weighted {
+		// Initial load outside the serving path (NewWeightedClusterFrom),
+		// matching how the single-engine baseline preloads before engine
+		// construction — counters and latency digests see only the stream.
+		c := shard.NewWeightedClusterFrom(part, ctree.DefaultParams(), weightedBatch(gen, 0, cfg.InitEdges), opts)
+		w := shard.Workload[aspen.WeightedGraph, aspen.WeightedEdge]{
+			Cluster: c, Readers: readers, Kernels: shardKernels(cfg),
+			Duration: d, Interval: pace, UseFlat: cfg.Flat,
+			NextBatch: stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
+				func(lo, hi uint64) []aspen.WeightedEdge { return weightedBatch(gen, lo, hi) }),
+		}
+		rep := w.Run()
+		c.Close()
+		return rep
+	}
+	c := shard.NewGraphClusterFrom(part, ctree.DefaultParams(),
+		aspen.MakeUndirected(gen.Edges(0, cfg.InitEdges)), opts)
+	w := shard.Workload[aspen.Graph, aspen.Edge]{
+		Cluster: c, Readers: readers, Kernels: shardKernels(cfg),
+		Duration: d, Interval: pace, UseFlat: cfg.Flat,
+		NextBatch: stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
+			func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) }),
+	}
+	rep := w.Run()
+	c.Close()
+	return rep
+}
+
+// oneShardRunSingle is the unsharded baseline of the sweep, reported in the
+// sharded Report shape so the rows compare directly.
+func oneShardRunSingle(cfg config, readers int, d, pace time.Duration) shard.Report {
+	pacedCfg := cfg
+	pacedCfg.IntervalNS = pace.Nanoseconds()
+	rr := oneRun(pacedCfg, readers, "baseline", d, true)
+	r := rr.Report
+	return shard.Report{
+		Shards: 1, Duration: r.Duration, Readers: r.Readers,
+		Updates: r.Updates, UpdatesPerSec: r.UpdatesPerSec,
+		Commits: r.Commits, Batches: r.Batches,
+		CommitWorst: r.Commit,
+		Queries:     r.Queries, QueriesPerSec: r.QueriesPerSec, Query: r.Query,
+		PerKernel:    r.PerKernel,
+		LiveVersions: r.LiveVersions, RetiredVersions: r.RetiredVersions,
+		FinalStamps: []uint64{r.FinalStamp},
+		FlatBuilds:  r.FlatBuilds, FlatHits: r.FlatHits,
+	}
+}
+
+func printShardRun(name string, r shard.Report, base float64) {
+	fmt.Printf("\n== %s ==\n", name)
+	if r.Updates > 0 {
+		speed := ""
+		if base > 0 && r.Shards > 1 {
+			speed = fmt.Sprintf(" (%.2fx vs single engine)", r.UpdatesPerSec/base)
+		}
+		fmt.Printf("updates: %.3g edges/sec%s (%d edges, %d batches, %d commits across %d shards)\n",
+			r.UpdatesPerSec, speed, r.Updates, r.Batches, r.Commits, r.Shards)
+		fmt.Printf("commit latency (worst shard): p50 %-10v p95 %-10v p99 %-10v max %v\n",
+			r.CommitWorst.P50, r.CommitWorst.P95, r.CommitWorst.P99, r.CommitWorst.Max)
+	}
+	if r.Queries > 0 {
+		fmt.Printf("queries: %.1f/sec across %d readers\n", r.QueriesPerSec, r.Readers)
+		fmt.Printf("query latency:   p50 %-10v p95 %-10v p99 %-10v max %v\n",
+			r.Query.P50, r.Query.P95, r.Query.P99, r.Query.Max)
+	}
+	fmt.Printf("versions: stamps %v, %d retired, %d live\n", r.FinalStamps, r.RetiredVersions, r.LiveVersions)
+	if r.StitchBuilds+r.StitchHits > 0 {
+		fmt.Printf("stitched flat: %d builds, %d hits; per-shard flat: %d builds, %d hits\n",
+			r.StitchBuilds, r.StitchHits, r.FlatBuilds, r.FlatHits)
+	}
+}
+
+// writeShardJSON writes the sharded sweep as a BENCH_*.json document
+// (benchdiff reads the benchmarks array; the shard_experiment payload is
+// the PR-5 record).
+func writeShardJSON(path, tag, mergePath string, cfg config, runs []shardRunResult) {
+	doc := shardBenchDoc{
+		Tag: tag,
+		Description: "Sharded serving layer sweep: multi-writer vertex-range shards with " +
+			"consistent cross-shard snapshots (PR 5); shard count 1 is the plain single " +
+			"engine. Benchmarks array gates allocs in CI via cmd/benchdiff.",
+		Machine:    runtime.GOOS + "/" + runtime.GOARCH,
+		Benchmarks: json.RawMessage("[]"),
+		Shard:      shardDoc{Config: cfg, Runs: runs},
+	}
+	if mergePath != "" {
+		raw, err := os.ReadFile(mergePath)
+		if err != nil {
+			fatal("-merge: %v", err)
+		}
+		var snap struct {
+			Benchmarks json.RawMessage `json:"benchmarks"`
+		}
+		if err := json.Unmarshal(raw, &snap); err != nil {
+			fatal("-merge: %v", err)
+		}
+		if len(snap.Benchmarks) > 0 {
+			doc.Benchmarks = snap.Benchmarks
+		}
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		fatal("write: %v", err)
+	}
+}
+
+type shardBenchDoc struct {
+	Tag         string          `json:"tag"`
+	Description string          `json:"description"`
+	Machine     string          `json:"machine,omitempty"`
+	Benchmarks  json.RawMessage `json:"benchmarks"`
+	Shard       shardDoc        `json:"shard_experiment"`
+}
+
+type shardDoc struct {
+	Config config           `json:"config"`
+	Runs   []shardRunResult `json:"runs"`
 }
 
 func printRun(name string, r stream.Report) {

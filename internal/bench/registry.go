@@ -37,6 +37,7 @@ var Experiments = []Experiment{
 	{"ablation-diropt", "Ablation: direction optimization on Aspen BFS/BC", AblationDirOpt},
 	{"sec7.8", "§7.8: live-stream engine, simultaneous updates and queries", Sec78},
 	{"flat", "PR-4: §5.1 flat snapshots — parallel build scaling, flat vs tree kernels", Flat},
+	{"shard", "PR-5: sharded serving — multi-writer ingest scaling with stitched flat reads", Shard},
 }
 
 // Lookup finds an experiment by ID.

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/aspen"
+	"repro/internal/ctree"
+	"repro/internal/ligra"
+	"repro/internal/rmat"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// Shard reports PR-5's multi-writer scaling surface: saturated batched
+// ingest through the sharded serving layer at 1/2/4 shards, with readers
+// running BFS on stitched flat views of pinned version vectors. Shard
+// count 1 is the plain single engine (the ground-truth baseline, no
+// facade); higher counts route every batch per shard and commit on all
+// shard writers concurrently. The speedup column is the headline: it
+// tracks available cores (a 1-core host shows ~1x — sharding is a
+// scaling mechanism, not a constant-factor win).
+func Shard(w io.Writer, cfg Config) {
+	t := tw(w)
+	fmt.Fprintln(t, "Graph\tShards\tUpdates/sec\tSpeedup\tCommit p99 (worst)\tQuery p50\tStitch builds/hits")
+	batch := uint64(4_000)
+	d := 1 * time.Second
+	readers := 2
+	if cfg.Quick {
+		batch, d = 500, 150*time.Millisecond
+	}
+	for _, ds := range datasets(cfg.Quick) {
+		gen := rmat.NewGenerator(ds.Scale, ds.Seed+4000)
+		var base float64
+		for _, shards := range []int{1, 2, 4} {
+			var upsec float64
+			var commitP99, queryP50 time.Duration
+			var builds, hits uint64
+			if shards == 1 {
+				// Same initial edges as the sharded runs (one generator
+				// prefix), so the sweep compares engines, not inputs.
+				g := aspen.NewGraph(ctree.DefaultParams()).
+					InsertEdges(aspen.MakeUndirected(gen.Edges(0, ds.GenEdges)))
+				e := stream.NewGraphEngine(g, stream.Options{})
+				wl := stream.Workload[aspen.Graph, aspen.Edge]{
+					Engine: e,
+					NextBatch: stream.UpdateSchedule(ds.GenEdges, batch,
+						func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) }),
+					Readers: readers,
+					Kernels: []stream.Kernel[aspen.Graph]{{Name: "bfs",
+						Run:     func(g aspen.Graph) { algos.BFS(g, 0, false) },
+						RunFlat: func(g ligra.Graph) { algos.BFS(g, 0, false) }}},
+					Duration: d,
+					UseFlat:  true,
+				}
+				rep := wl.Run()
+				e.Close()
+				upsec, commitP99, queryP50 = rep.UpdatesPerSec, rep.Commit.P99, rep.Query.P50
+			} else {
+				part := shard.NewRangePartitioner(shards, uint32(1)<<ds.Scale)
+				// Preload outside the serving path (same generator prefix
+				// as the 1-shard baseline), so the table measures only the
+				// streamed updates.
+				c := shard.NewGraphClusterFrom(part, ctree.DefaultParams(),
+					aspen.MakeUndirected(gen.Edges(0, ds.GenEdges)), stream.Options{})
+				wl := shard.Workload[aspen.Graph, aspen.Edge]{
+					Cluster: c,
+					NextBatch: stream.UpdateSchedule(ds.GenEdges, batch,
+						func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) }),
+					Readers: readers,
+					Kernels: []shard.Kernel{{Name: "bfs",
+						Run: func(g ligra.Graph) { algos.BFS(g, 0, false) }}},
+					Duration: d,
+					UseFlat:  true,
+				}
+				rep := wl.Run()
+				c.Close()
+				upsec, commitP99, queryP50 = rep.UpdatesPerSec, rep.CommitWorst.P99, rep.Query.P50
+				builds, hits = rep.StitchBuilds, rep.StitchHits
+			}
+			if shards == 1 {
+				base = upsec
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = upsec / base
+			}
+			fmt.Fprintf(t, "%s\t%d\t%.3g\t%.2fx\t%s\t%s\t%d/%d\n",
+				ds.Name, shards, upsec, speedup, secs(commitP99), secs(queryP50), builds, hits)
+		}
+	}
+	t.Flush()
+}

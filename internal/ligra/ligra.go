@@ -364,6 +364,46 @@ func edgeMapSparse(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func
 	return FromSparse(u.n, out)
 }
 
+// denseGrainWork is the edge-pull budget one dense-direction block targets
+// when a flat degree array is available; denseGrainFixed is the historical
+// grain used without one.
+const (
+	denseGrainWork  = 4096
+	denseGrainFixed = 256
+)
+
+// denseGrainOverride, when positive, forces a fixed dense grain — a test
+// hook so the EdgeMap bench can compare the adaptive choice against the
+// old fixed 256 without forking the mapper.
+var denseGrainOverride int
+
+// denseGrain picks the dense-direction block size from m/n (ROADMAP (o)).
+// The dense scan visits every id slot and pulls ~deg(v) edges from the
+// live ones, so expected work per slot is about the average degree: blocks
+// of denseGrainWork/(m/n + 1) slots each cost roughly denseGrainWork edge
+// pulls, making blocks fine on dense graphs (load balance across heavy
+// regions of the degree array) and coarse on sparse id spaces (fewer
+// scheduling handoffs per scan). Without a degree array the estimate is
+// not worth the two interface calls — the fixed grain stands, as before.
+func denseGrain(g Graph, degs []int32) int {
+	if denseGrainOverride > 0 {
+		return denseGrainOverride
+	}
+	n := len(degs)
+	if n == 0 {
+		return denseGrainFixed
+	}
+	avg := float64(g.NumEdges()) / float64(n)
+	grain := int(float64(denseGrainWork) / (avg + 1))
+	if grain < 16 {
+		return 16
+	}
+	if grain > 4096 {
+		return 4096
+	}
+	return grain
+}
+
 // edgeMapDense scans all vertices v with C(v) true and pulls from their
 // in-neighbors (== neighbors on symmetric graphs), stopping early once C(v)
 // turns false.
@@ -375,7 +415,7 @@ func edgeMapDense(g Graph, u VertexSubset, f func(src, dst uint32) bool, c func(
 	}
 	out := make([]bool, ud.n)
 	var count atomic.Int64
-	parallel.ForGrain(ud.n, 256, func(i int) {
+	parallel.ForGrain(ud.n, denseGrain(g, degs), func(i int) {
 		// O(1) degree probe: a vertex with no neighbors cannot pull anything,
 		// so skip it before paying the condition and the edge-tree dispatch.
 		if degs != nil && i < len(degs) && degs[i] == 0 {

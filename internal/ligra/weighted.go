@@ -110,7 +110,7 @@ func weightedEdgeMapDense(g WeightedGraph, u VertexSubset, f func(src, dst uint3
 	}
 	out := make([]bool, ud.n)
 	var count atomic.Int64
-	parallel.ForGrain(ud.n, 256, func(i int) {
+	parallel.ForGrain(ud.n, denseGrain(g, degs), func(i int) {
 		if degs != nil && i < len(degs) && degs[i] == 0 {
 			return
 		}

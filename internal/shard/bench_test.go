@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/aspen"
+	"repro/internal/ctree"
+	"repro/internal/rmat"
+	"repro/internal/stream"
+)
+
+// benchCluster builds a cluster preloaded with an rMAT graph and
+// barriered, for the read-path benchmarks and alloc gates.
+func benchCluster(b testing.TB, shards int) *Cluster[aspen.Graph, aspen.Edge] {
+	b.Helper()
+	gen := rmat.NewGenerator(14, 42)
+	c := NewGraphCluster(NewRangePartitioner(shards, 1<<14), ctree.DefaultParams(), stream.Options{})
+	if _, err := c.Insert(aspen.MakeUndirected(gen.Edges(0, 200_000))); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkClusterBeginClose is the sharded read-tx hot path: pin one
+// version per shard, release. Pooled transactions keep it allocation-free
+// (CI gates allocs_op at 0).
+func BenchmarkClusterBeginClose(b *testing.B) {
+	c := benchCluster(b, 4)
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := c.Begin()
+		tx.Close()
+	}
+}
+
+// BenchmarkClusterFlatStitchCached measures the steady-state stitched-flat
+// path: the vector is unchanged, so Flat is a slot hit (CI gates allocs_op
+// at 0).
+func BenchmarkClusterFlatStitchCached(b *testing.B) {
+	c := benchCluster(b, 4)
+	defer c.Close()
+	warm := c.Begin()
+	warm.Flat()
+	warm.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := c.Begin()
+		if tx.Flat() == nil {
+			b.Fatal("no flat view")
+		}
+		tx.Close()
+	}
+}
+
+// BenchmarkRoute measures the per-batch routing cost (counting scatter
+// into one backing array).
+func BenchmarkRoute(b *testing.B) {
+	edges := aspen.MakeUndirected(rmat.NewGenerator(16, 7).Edges(0, 5_000))
+	p := NewRangePartitioner(4, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Route(p, edges, EdgeSource)
+	}
+	b.SetBytes(int64(len(edges) * 8))
+}
+
+// BenchmarkShardedIngest measures saturated ingest throughput through the
+// cluster facade at 1, 2 and 4 shards — the multi-writer scaling surface
+// (edges/sec is the headline §7.8 comparison; on a single-core host the
+// shard counts should at least not regress each other).
+func BenchmarkShardedIngest(b *testing.B) {
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			gen := rmat.NewGenerator(16, 9)
+			c := NewGraphCluster(NewRangePartitioner(shards, 1<<16), ctree.DefaultParams(), stream.Options{})
+			if _, err := c.Insert(aspen.MakeUndirected(gen.Edges(0, 100_000))); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Barrier(); err != nil {
+				b.Fatal(err)
+			}
+			const batchSize = 5_000
+			pos := uint64(100_000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch := aspen.MakeUndirected(gen.Edges(pos, pos+batchSize))
+				pos += batchSize
+				if _, err := c.Insert(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := c.Barrier(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batchSize*2)/b.Elapsed().Seconds(), "edges/sec")
+			c.Close()
+		})
+	}
+}
+
+func TestBeginCloseAllocFree(t *testing.T) {
+	if raceEnabled {
+		// The race detector makes sync.Pool drop items at random, so the
+		// pooled-tx path cannot be allocation-free under it; the non-race
+		// CI lanes and the bench gate hold the 0-alloc guarantee.
+		t.Skip("pooled allocations are not deterministic under -race")
+	}
+	c := benchCluster(t, 2)
+	defer c.Close()
+	warm := c.Begin()
+	warm.Flat()
+	warm.Close()
+	if avg := testing.AllocsPerRun(200, func() {
+		tx := c.Begin()
+		tx.Close()
+	}); avg > 0 {
+		t.Fatalf("Begin/Close allocates %.1f objects per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		tx := c.Begin()
+		tx.Flat()
+		tx.Close()
+	}); avg > 0 {
+		t.Fatalf("Begin/Flat/Close (cached) allocates %.1f objects per op, want 0", avg)
+	}
+}

@@ -1,0 +1,170 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/aspen"
+	"repro/internal/ligra"
+	"repro/internal/stream"
+)
+
+func TestClusterInsertDeleteVisibility(t *testing.T) {
+	c := NewGraphCluster(NewRangePartitioner(2, 100), testParams(), stream.Options{})
+	defer c.Close()
+
+	batch := aspen.MakeUndirected([]aspen.Edge{{Src: 10, Dst: 90}}) // crosses the shard boundary
+	p, err := c.Insert(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	tx := c.Begin()
+	g := tx.Graph()
+	if g.Degree(10) != 1 || g.Degree(90) != 1 {
+		t.Fatalf("cross-shard edge not visible: deg(10)=%d deg(90)=%d", g.Degree(10), g.Degree(90))
+	}
+	// Each direction must live on its source's shard.
+	if got := tx.Shard(c.part.Owner(10)).Degree(10); got != 1 {
+		t.Fatalf("shard of 10 reports degree %d", got)
+	}
+	if got := tx.Shard(c.part.Owner(90)).Degree(90); got != 1 {
+		t.Fatalf("shard of 90 reports degree %d", got)
+	}
+	tx.Close()
+
+	p, err = c.Delete(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	tx = c.Begin()
+	if tx.Graph().Degree(10) != 0 || tx.Graph().Degree(90) != 0 {
+		t.Fatal("deleted cross-shard edge still visible")
+	}
+	tx.Close()
+}
+
+func TestClusterStitchCache(t *testing.T) {
+	c := NewGraphCluster(NewRangePartitioner(2, 1<<8), testParams(), stream.Options{})
+	defer c.Close()
+	if _, err := c.Insert(aspen.MakeUndirected(randomEdges(500, 1<<8, 1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx1 := c.Begin()
+	f1 := tx1.Flat()
+	if f1 == nil {
+		t.Fatal("no stitched flat view")
+	}
+	tx2 := c.Begin()
+	if f2 := tx2.Flat(); f2 != f1 {
+		t.Fatal("same version vector produced a second stitched view")
+	}
+	st := c.Stats()
+	if st.StitchBuilds != 1 || st.StitchHits != 1 {
+		t.Fatalf("stitch builds/hits = %d/%d, want 1/1", st.StitchBuilds, st.StitchHits)
+	}
+	tx1.Close()
+	tx2.Close()
+
+	// A commit moves the vector: the next Flat must rebuild.
+	if _, err := c.Insert(aspen.MakeUndirected(randomEdges(100, 1<<8, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := c.Begin()
+	if f3 := tx3.Flat(); f3 == f1 {
+		t.Fatal("stale stitched view served for a newer version vector")
+	}
+	tx3.Close()
+	if st := c.Stats(); st.StitchBuilds != 2 {
+		t.Fatalf("stitch builds = %d, want 2", st.StitchBuilds)
+	}
+}
+
+func TestClusterErrClosedAfterClose(t *testing.T) {
+	c := NewGraphCluster(NewHashPartitioner(2), testParams(), stream.Options{})
+	c.Close()
+	if _, err := c.Insert(aspen.MakeUndirected([]aspen.Edge{{Src: 1, Dst: 2}})); err != stream.ErrClosed {
+		t.Fatalf("Insert after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestWeightedClusterViews(t *testing.T) {
+	c := NewWeightedCluster(NewRangePartitioner(2, 1<<8), testParams(), stream.Options{})
+	defer c.Close()
+	batch := aspen.MakeUndirectedWeighted([]aspen.WeightedEdge{
+		{Src: 3, Dst: 200, Weight: 2.5},
+		{Src: 7, Dst: 9, Weight: 1.25},
+	})
+	if _, err := c.Insert(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	tx := c.Begin()
+	defer tx.Close()
+
+	wv, ok := tx.Ligra().(ligra.WeightedGraph)
+	if !ok {
+		t.Fatal("weighted tree view lacks ligra.WeightedGraph")
+	}
+	sum := float32(0)
+	wv.ForEachNeighborW(3, func(_ uint32, w float32) bool { sum += w; return true })
+	if sum != 2.5 {
+		t.Fatalf("tree view weight sum = %g, want 2.5", sum)
+	}
+	fw, ok := tx.Flat().(ligra.FlatWeightedGraph)
+	if !ok {
+		t.Fatal("weighted flat view lacks ligra.FlatWeightedGraph")
+	}
+	got := float32(0)
+	fw.ForEachNeighborW(200, func(v uint32, w float32) bool {
+		if v == 3 {
+			got = w
+		}
+		return true
+	})
+	if got != 2.5 {
+		t.Fatalf("flat view weight(200,3) = %g, want 2.5", got)
+	}
+}
+
+func TestTxPoolReuseIsClean(t *testing.T) {
+	c := NewGraphCluster(NewRangePartitioner(2, 1<<8), testParams(), stream.Options{})
+	defer c.Close()
+	if _, err := c.Insert(aspen.MakeUndirected(randomEdges(200, 1<<8, 3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	tx := c.Begin()
+	tx.Graph()
+	tx.Flat()
+	tx.Close()
+	tx.Close() // idempotent: must not double-release or double-pool
+
+	// A commit between pooled uses: the reused tx must see the new vector,
+	// not leftovers.
+	if _, err := c.Insert(aspen.MakeUndirected(randomEdges(50, 1<<8, 4))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := c.Begin()
+	defer tx2.Close()
+	st := c.Stats()
+	for s, stamp := range tx2.Stamps() {
+		if stamp != st.PerShard[s].Stamp {
+			t.Fatalf("reused tx pinned stamp %d on shard %d, latest is %d", stamp, s, st.PerShard[s].Stamp)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/xhash"
+)
+
+func TestRangePartitionerOwnership(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+		for _, span := range []uint32{0, 1, 5, 1 << 10, 1 << 20, 1<<32 - 1} {
+			p := NewRangePartitioner(shards, span)
+			if p.Shards() != shards {
+				t.Fatalf("Shards() = %d, want %d", p.Shards(), shards)
+			}
+			rng := xhash.NewRNG(uint64(shards)*31 + uint64(span))
+			for i := 0; i < 2000; i++ {
+				u := rng.Uint32()
+				s := p.Owner(u)
+				if s < 0 || s >= shards {
+					t.Fatalf("Owner(%d) = %d out of [0, %d)", u, s, shards)
+				}
+				lo, hi := p.Range(s)
+				if uint64(u) < lo || uint64(u) >= hi {
+					t.Fatalf("u=%d not in Range(Owner(u)) = [%d, %d)", u, lo, hi)
+				}
+			}
+			// Ranges tile the id space: contiguous, in order, full cover.
+			var prev uint64
+			for s := 0; s < shards; s++ {
+				lo, hi := p.Range(s)
+				if lo != prev {
+					t.Fatalf("shard %d range starts at %d, want %d", s, lo, prev)
+				}
+				if hi <= lo && s != shards-1 {
+					t.Fatalf("shard %d has empty range [%d, %d)", s, lo, hi)
+				}
+				prev = hi
+			}
+			if _, hi := p.Range(shards - 1); hi != 1<<32 {
+				t.Fatalf("last shard range ends at %d, want 2^32", hi)
+			}
+		}
+	}
+}
+
+func TestHashPartitionerOwnership(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		p := NewHashPartitioner(shards)
+		counts := make([]int, shards)
+		for u := uint32(0); u < 10_000; u++ {
+			s := p.Owner(u)
+			if s < 0 || s >= shards {
+				t.Fatalf("Owner(%d) = %d out of [0, %d)", u, s, shards)
+			}
+			if p.Owner(u) != s {
+				t.Fatalf("Owner(%d) not stable", u)
+			}
+			counts[s]++
+		}
+		// The mixed hash should land every shard within 2x of fair share.
+		for s, c := range counts {
+			if shards > 1 && (c < 10_000/(2*shards) || c > 2*10_000/shards) {
+				t.Fatalf("shard %d holds %d of 10000 ids (shards=%d): badly skewed", s, c, shards)
+			}
+		}
+	}
+}
+
+func TestPartitionerClamping(t *testing.T) {
+	if got := NewRangePartitioner(0, 100).Shards(); got != 1 {
+		t.Fatalf("range shards clamped to %d, want 1", got)
+	}
+	if got := NewHashPartitioner(-3).Shards(); got != 1 {
+		t.Fatalf("hash shards clamped to %d, want 1", got)
+	}
+	if got := NewRangePartitioner(4, 0).Owner(1 << 31); got != 0 {
+		t.Fatalf("zero-span range partitioner Owner = %d, want 0", got)
+	}
+}
+
+// FuzzPartitionRoundTrip checks the partition invariants over arbitrary
+// (id, shards, span) combinations: owners stay in range, the range
+// partitioner's Owner agrees with its Range intervals, and hash ownership
+// is stable — the properties the router and the stitched flat view build
+// on (CI fuzz-smokes this target).
+func FuzzPartitionRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint8(1), uint32(0))
+	f.Add(uint32(1<<31), uint8(4), uint32(1<<20))
+	f.Add(uint32(1<<32-1), uint8(255), uint32(7))
+	f.Fuzz(func(t *testing.T, u uint32, shards uint8, span uint32) {
+		n := int(shards)
+		if n == 0 {
+			n = 1
+		}
+		rp := NewRangePartitioner(n, span)
+		s := rp.Owner(u)
+		if s < 0 || s >= n {
+			t.Fatalf("range Owner(%d) = %d out of [0, %d)", u, s, n)
+		}
+		lo, hi := rp.Range(s)
+		if uint64(u) < lo || uint64(u) >= hi {
+			t.Fatalf("range round-trip: u=%d outside Range(%d) = [%d, %d)", u, s, lo, hi)
+		}
+		hp := NewHashPartitioner(n)
+		hs := hp.Owner(u)
+		if hs < 0 || hs >= n {
+			t.Fatalf("hash Owner(%d) = %d out of [0, %d)", u, hs, n)
+		}
+		if hp.Owner(u) != hs {
+			t.Fatalf("hash Owner(%d) unstable", u)
+		}
+	})
+}

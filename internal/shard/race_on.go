@@ -1,0 +1,8 @@
+//go:build race
+
+package shard
+
+// raceEnabled reports whether the race detector instruments this build.
+// sync.Pool intentionally drops items at random under the race detector,
+// so pooled-transaction allocation guarantees cannot be asserted there.
+const raceEnabled = true

@@ -44,6 +44,16 @@ type Options struct {
 	// version finds it cached instead of paying the O(n) build inside its
 	// query. Off by default: views build lazily on the first Tx.Flat.
 	PrebuildFlat bool
+	// PriorityEdges routes batches of at most this many edges through a
+	// priority lane that the ingest loop drains first (a second channel
+	// behind a biased select), so small-batch commit latency under
+	// saturation is bounded by one in-flight commit instead of the whole
+	// backlog of giant coalesced batches (ROADMAP (i)). 0 disables the
+	// lane. Note the lane relaxes cross-lane FIFO: a priority batch may
+	// commit before normal-lane batches submitted earlier, so updates whose
+	// relative order matters (insert then delete of the same edge) must
+	// ride the same lane. Flush covers both lanes.
+	PriorityEdges int
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +95,7 @@ type Engine[G ligra.Graph, E any] struct {
 	mu     sync.RWMutex // guards closed and the queue close
 	closed bool
 	queue  chan pending[E]
+	prio   chan pending[E] // small-batch priority lane; nil unless enabled
 	wg     sync.WaitGroup
 
 	commitHist Hist
@@ -105,6 +116,9 @@ func New[G ligra.Graph, E any](g G, insert, remove func(G, []E) G, opts Options)
 		opts:   opts.withDefaults(),
 	}
 	e.queue = make(chan pending[E], e.opts.QueueCap)
+	if e.opts.PriorityEdges > 0 {
+		e.prio = make(chan pending[E], e.opts.QueueCap)
+	}
 	// The engine owns the registry's retire hook: it drops the version's
 	// cached flat view first, then forwards to the client hook.
 	e.reg.SetRetireHook(func(stamp uint64) {
@@ -182,6 +196,13 @@ var closedPending = func() Pending {
 }()
 
 func (e *Engine[G, E]) submit(del bool, edges []E) (Pending, error) {
+	// Small batches jump to the priority lane when it is enabled; zero-edge
+	// markers (Flush) always ride the normal lane so they cover it fully.
+	prio := e.prio != nil && len(edges) > 0 && len(edges) <= e.opts.PriorityEdges
+	return e.submitTo(del, edges, prio)
+}
+
+func (e *Engine[G, E]) submitTo(del bool, edges []E, prio bool) (Pending, error) {
 	done := make(chan uint64, 1)
 	p := pending[E]{del: del, edges: edges, enq: time.Now(), done: done}
 	e.mu.RLock()
@@ -189,19 +210,31 @@ func (e *Engine[G, E]) submit(del bool, edges []E) (Pending, error) {
 		e.mu.RUnlock()
 		return closedPending, ErrClosed
 	}
-	e.queue <- p // may block (backpressure); the loop drains until close
+	if prio {
+		e.prio <- p
+	} else {
+		e.queue <- p // may block (backpressure); the loop drains until close
+	}
 	e.mu.RUnlock()
 	return Pending{ch: done}, nil
 }
 
 // Flush blocks until every batch submitted before the call has committed,
-// and returns the stamp current at that point.
+// and returns the stamp current at that point. With the priority lane
+// enabled, one marker rides each lane so both are covered.
 func (e *Engine[G, E]) Flush() (uint64, error) {
-	p, err := e.submit(false, nil)
+	p, err := e.submitTo(false, nil, false)
 	if err != nil {
 		return 0, err
 	}
-	return p.Wait(), nil
+	if e.prio == nil {
+		return p.Wait(), nil
+	}
+	pp, err := e.submitTo(false, nil, true)
+	if err != nil {
+		return 0, err
+	}
+	return max(p.Wait(), pp.Wait()), nil
 }
 
 // Close stops the ingest loop after draining every queued batch, then
@@ -213,6 +246,9 @@ func (e *Engine[G, E]) Close() {
 	if !e.closed {
 		e.closed = true
 		close(e.queue)
+		if e.prio != nil {
+			close(e.prio)
+		}
 	}
 	e.mu.Unlock()
 	e.wg.Wait()
@@ -223,40 +259,96 @@ func (e *Engine[G, E]) Close() {
 // A batch received past the MaxCoalesceEdges budget is carried over to
 // start the next commit group, so the edge cap is a hard bound per group
 // (except for a single batch that alone exceeds it, which commits alone).
+// Intake is biased: the priority lane, when enabled, is checked before the
+// normal queue at every receive, so a queued small batch waits for at most
+// the commit in flight plus one commit group, never the whole backlog.
+// Closed lanes nil out; the loop exits when both are drained.
 func (e *Engine[G, E]) loop() {
 	defer e.wg.Done()
 	var batch []pending[E]
 	var carry pending[E]
 	hasCarry := false
+	queue, prio := e.queue, e.prio
 	for {
 		var first pending[E]
+		hasFirst := false
 		if hasCarry {
-			first, hasCarry = carry, false
+			first, hasCarry, hasFirst = carry, false, true
 		} else {
-			var ok bool
-			first, ok = <-e.queue
-			if !ok {
+			if prio == nil && queue == nil {
 				return
+			}
+			if prio != nil {
+				select {
+				case p, ok := <-prio:
+					if ok {
+						first, hasFirst = p, true
+					} else {
+						prio = nil
+					}
+				default:
+				}
+			}
+			if !hasFirst {
+				if prio == nil && queue == nil {
+					return
+				}
+				// Block until either lane delivers; a nil lane's case
+				// blocks forever, leaving the other live.
+				select {
+				case p, ok := <-prio:
+					if !ok {
+						prio = nil
+						continue
+					}
+					first, hasFirst = p, true
+				case p, ok := <-queue:
+					if !ok {
+						queue = nil
+						continue
+					}
+					first, hasFirst = p, true
+				}
 			}
 		}
 		batch = append(batch[:0], first)
 		edges := len(first.edges)
-	drain:
 		for len(batch) < e.opts.MaxCoalesce && edges < e.opts.MaxCoalesceEdges {
-			select {
-			case next, ok := <-e.queue:
-				if !ok {
-					break drain // commit the tail; the next receive exits
+			var next pending[E]
+			got := false
+			if prio != nil {
+				select {
+				case p, ok := <-prio:
+					if ok {
+						next, got = p, true
+					} else {
+						prio = nil
+						continue
+					}
+				default:
 				}
-				if edges > 0 && edges+len(next.edges) > e.opts.MaxCoalesceEdges {
-					carry, hasCarry = next, true
-					break drain
-				}
-				batch = append(batch, next)
-				edges += len(next.edges)
-			default:
-				break drain
 			}
+			if !got && queue != nil {
+				select {
+				case p, ok := <-queue:
+					if ok {
+						next, got = p, true
+					} else {
+						queue = nil
+						continue
+					}
+				default:
+				}
+			}
+			if !got {
+				break // both lanes idle (or closed): commit what we have
+			}
+			if edges > 0 && edges+len(next.edges) > e.opts.MaxCoalesceEdges {
+				carry, hasCarry = next, true
+				break
+			}
+			batch = append(batch, next)
+			edges += len(next.edges)
 		}
 		e.commit(batch, edges)
 	}
@@ -344,7 +436,8 @@ type Stats struct {
 	Batches uint64 `json:"batches"`
 	// Edges is the number of directed edge updates applied.
 	Edges uint64 `json:"edges"`
-	// QueueDepth is the number of batches waiting in the ingest queue.
+	// QueueDepth is the number of batches waiting in the ingest queue
+	// (both lanes, when the priority lane is enabled).
 	QueueDepth int `json:"queue_depth"`
 	// LiveVersions / RetiredVersions mirror the epoch registry: versions
 	// still pinned (plus the current one) and versions fully released.
@@ -376,7 +469,7 @@ func (e *Engine[G, E]) Stats() Stats {
 		Commits:         e.commits.Load(),
 		Batches:         e.batches.Load(),
 		Edges:           e.edges.Load(),
-		QueueDepth:      len(e.queue),
+		QueueDepth:      len(e.queue) + len(e.prio),
 		LiveVersions:    e.reg.LiveVersions(),
 		RetiredVersions: e.reg.RetiredVersions(),
 		FlatBuilds:      e.flat.builds.Load(),

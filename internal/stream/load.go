@@ -109,24 +109,51 @@ type Report struct {
 	FlatHits   uint64 `json:"flat_hits"`
 }
 
-// Run executes the workload and reports. The engine is flushed but left
-// open (Close it separately).
-func (w *Workload[G, E]) Run() Report {
-	type kernelHist struct {
-		name string
-		hist *Hist
-	}
-	kh := make([]kernelHist, len(w.Kernels))
-	for i, k := range w.Kernels {
-		kh[i] = kernelHist{name: k.Name, hist: &Hist{}}
+// DriveSpec parameterizes the shared §7.8 load loop (Drive) that both the
+// single-engine Workload and the sharded cluster workload run: Readers
+// goroutines cycle Kernels round-robin, each query through RunKernel,
+// while one writer goroutine feeds Submit until the deadline — paced to
+// Interval or saturated — and Flush then drains everything submitted.
+// One implementation keeps the two workloads' measurement semantics
+// identical by construction.
+type DriveSpec struct {
+	Readers int
+	// Kernels is the number of kernels cycled; 0 disables readers.
+	Kernels int
+	// RunKernel executes one query against kernel k (begin a transaction,
+	// run, close). Called concurrently from reader goroutines.
+	RunKernel func(k int)
+	// Submit enqueues update batch i; nil means an idle writer.
+	Submit func(i uint64) error
+	// Flush blocks until everything submitted has committed.
+	Flush    func()
+	Duration time.Duration
+	Interval time.Duration
+}
+
+// DriveStats is what the loop itself measures: wall time and query
+// latencies. Callers fold in their engine or cluster counter deltas.
+type DriveStats struct {
+	Elapsed   time.Duration
+	Queries   uint64
+	Query     LatencySummary
+	PerKernel []LatencySummary
+}
+
+// Drive runs the load loop to completion (writer deadline reached, flush
+// drained, readers joined).
+func Drive(s DriveSpec) DriveStats {
+	kh := make([]*Hist, s.Kernels)
+	for i := range kh {
+		kh[i] = &Hist{}
 	}
 	var queryHist Hist
 	var queries atomic.Uint64
 	var stop atomic.Bool
 
 	var readerWG sync.WaitGroup
-	readers := w.Readers
-	if len(w.Kernels) == 0 {
+	readers := s.Readers
+	if s.Kernels == 0 {
 		readers = 0
 	}
 	for r := 0; r < readers; r++ {
@@ -134,75 +161,112 @@ func (w *Workload[G, E]) Run() Report {
 		go func(r int) {
 			defer readerWG.Done()
 			for i := r; !stop.Load(); i++ {
-				k := w.Kernels[i%len(w.Kernels)]
+				k := i % s.Kernels
 				t0 := time.Now()
-				tx := w.Engine.Begin()
-				if w.UseFlat && k.RunFlat != nil {
-					k.RunFlat(tx.Flat())
-				} else {
-					k.Run(tx.Graph())
-				}
-				tx.Close()
+				s.RunKernel(k)
 				d := time.Since(t0)
 				queryHist.Observe(d)
-				kh[i%len(w.Kernels)].hist.Observe(d)
+				kh[k].Observe(d)
 				queries.Add(1)
 			}
 		}(r)
 	}
 
-	// Writer: pipeline batches through the bounded queue until the
+	// Writer: pipeline batches through the bounded queue(s) until the
 	// deadline, then flush so every submitted batch is committed.
 	start := time.Now()
-	deadline := start.Add(w.Duration)
-	if w.NextBatch == nil {
-		time.Sleep(w.Duration)
+	deadline := start.Add(s.Duration)
+	if s.Submit == nil {
+		time.Sleep(s.Duration)
 	}
-	for i := uint64(0); w.NextBatch != nil && time.Now().Before(deadline); i++ {
-		if w.Interval > 0 {
+	for i := uint64(0); s.Submit != nil && time.Now().Before(deadline); i++ {
+		if s.Interval > 0 {
 			// Absolute schedule: batch i is due at start + i*Interval, so
 			// a slow commit doesn't shift the whole offered load.
-			if due := start.Add(time.Duration(i) * w.Interval); time.Until(due) > 0 {
+			if due := start.Add(time.Duration(i) * s.Interval); time.Until(due) > 0 {
 				time.Sleep(time.Until(due))
 			}
 		}
-		del, edges := w.NextBatch(i)
-		var err error
-		if del {
-			_, err = w.Engine.Delete(edges)
-		} else {
-			_, err = w.Engine.Insert(edges)
-		}
-		if err != nil {
+		if s.Submit(i) != nil {
 			break
 		}
 	}
-	stamp, _ := w.Engine.Flush()
+	s.Flush()
 	elapsed := time.Since(start)
 	stop.Store(true)
 	readerWG.Wait()
 
-	st := w.Engine.Stats()
-	rep := Report{
-		Duration:        elapsed,
-		Readers:         w.Readers,
-		Updates:         st.Edges,
-		UpdatesPerSec:   float64(st.Edges) / elapsed.Seconds(),
-		Commits:         st.Commits,
-		Batches:         st.Batches,
-		Coalesce:        st.CoalesceFactor(),
-		Commit:          st.Commit,
-		Queries:         queries.Load(),
-		QueriesPerSec:   float64(queries.Load()) / elapsed.Seconds(),
-		Query:           queryHist.Summary(),
-		LiveVersions:    st.LiveVersions,
-		RetiredVersions: st.RetiredVersions,
-		FinalStamp:      stamp,
-		FlatBuilds:      st.FlatBuilds,
-		FlatHits:        st.FlatHits,
+	ds := DriveStats{
+		Elapsed: elapsed,
+		Queries: queries.Load(),
+		Query:   queryHist.Summary(),
 	}
-	for _, k := range kh {
-		rep.PerKernel = append(rep.PerKernel, KernelStat{Name: k.name, Latency: k.hist.Summary()})
+	for _, h := range kh {
+		ds.PerKernel = append(ds.PerKernel, h.Summary())
+	}
+	return ds
+}
+
+// Run executes the workload and reports. The engine is flushed but left
+// open (Close it separately). Counters are reported as deltas over the
+// run, so an engine that already served traffic (or was preloaded through
+// its own ingest path) measures only this run's updates.
+func (w *Workload[G, E]) Run() Report {
+	before := w.Engine.Stats()
+	var stamp uint64
+	spec := DriveSpec{
+		Readers: w.Readers,
+		Kernels: len(w.Kernels),
+		RunKernel: func(k int) {
+			kn := w.Kernels[k]
+			tx := w.Engine.Begin()
+			if w.UseFlat && kn.RunFlat != nil {
+				kn.RunFlat(tx.Flat())
+			} else {
+				kn.Run(tx.Graph())
+			}
+			tx.Close()
+		},
+		Flush:    func() { stamp, _ = w.Engine.Flush() },
+		Duration: w.Duration,
+		Interval: w.Interval,
+	}
+	if w.NextBatch != nil {
+		spec.Submit = func(i uint64) error {
+			del, edges := w.NextBatch(i)
+			var err error
+			if del {
+				_, err = w.Engine.Delete(edges)
+			} else {
+				_, err = w.Engine.Insert(edges)
+			}
+			return err
+		}
+	}
+	ds := Drive(spec)
+
+	st := w.Engine.Stats()
+	runStats := Stats{Commits: st.Commits - before.Commits, Batches: st.Batches - before.Batches}
+	rep := Report{
+		Duration:        ds.Elapsed,
+		Readers:         w.Readers,
+		Updates:         st.Edges - before.Edges,
+		UpdatesPerSec:   float64(st.Edges-before.Edges) / ds.Elapsed.Seconds(),
+		Commits:         runStats.Commits,
+		Batches:         runStats.Batches,
+		Coalesce:        runStats.CoalesceFactor(),
+		Commit:          st.Commit,
+		Queries:         ds.Queries,
+		QueriesPerSec:   float64(ds.Queries) / ds.Elapsed.Seconds(),
+		Query:           ds.Query,
+		LiveVersions:    st.LiveVersions,
+		RetiredVersions: st.RetiredVersions - before.RetiredVersions,
+		FinalStamp:      stamp,
+		FlatBuilds:      st.FlatBuilds - before.FlatBuilds,
+		FlatHits:        st.FlatHits - before.FlatHits,
+	}
+	for i, k := range w.Kernels {
+		rep.PerKernel = append(rep.PerKernel, KernelStat{Name: k.Name, Latency: ds.PerKernel[i]})
 	}
 	sort.Slice(rep.PerKernel, func(i, j int) bool { return rep.PerKernel[i].Name < rep.PerKernel[j].Name })
 	return rep
