@@ -23,14 +23,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/algos"
@@ -66,8 +69,29 @@ func main() {
 		jsonTag  = flag.String("tag", "stream", "tag recorded in the -json document")
 		mergeIn  = flag.String("merge", "", "snapshot file whose benchmarks array is merged into -json")
 		seed     = flag.Uint64("seed", 42, "rMAT stream seed")
+
+		dataDir  = flag.String("data", "", "durability directory: WAL + checkpoints; recovers existing state on start")
+		fsyncPol = flag.String("fsync", "interval", "WAL fsync policy with -data: per-commit, interval, or off")
+		fsyncInt = flag.Duration("fsync-every", 20*time.Millisecond, "fsync interval under -fsync interval")
+		ckptEv   = flag.Int("ckpt-every", 256, "checkpoint after this many commits with -data")
+		recOnly  = flag.Bool("recover-only", false, "recover -data, report what survived, and exit")
+		killN    = flag.Int("killtest", 0, "ingest N deterministic durable batches into -data, printing an ack line per commit (crash-harness mode)")
 	)
 	flag.Parse()
+	if *killN > 0 {
+		if *dataDir == "" {
+			fatal("-killtest requires -data")
+		}
+		runKillTest(*dataDir, *killN)
+		return
+	}
+	if *recOnly {
+		if *dataDir == "" {
+			fatal("-recover-only requires -data")
+		}
+		runRecoverOnly(*dataDir, *weighted)
+		return
+	}
 	if *quick {
 		// Shrink only the flags the user did not set explicitly.
 		set := map[string]bool{}
@@ -110,16 +134,29 @@ func main() {
 		Partition:  *partKind,
 		DurationNS: duration.Nanoseconds(), IntervalNS: interval.Nanoseconds(),
 		Seed: *seed, Procs: runtime.GOMAXPROCS(0),
+		Data: *dataDir, Fsync: *fsyncPol,
+		FsyncIntervalNS: fsyncInt.Nanoseconds(), CkptEvery: *ckptEv,
 	}
 	fmt.Printf("stream: scale=%d init=%d batch=%d weighted=%v algos=%s flat=%v procs=%d\n",
 		*scale, *initE, *batch, *weighted, *algoList, *flat, cfg.Procs)
 
+	// Graceful shutdown: SIGINT/SIGTERM stops the in-flight run early (the
+	// writer quits, submitted batches flush, readers drain) and skips the
+	// rest of the sweep; durable engines still close cleanly, writing a
+	// final checkpoint.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	stop := ctx.Done()
+
 	if *shards != "" {
+		if *dataDir != "" {
+			fatal("-data applies to the single-engine sweep (shard durability is driven through the library)")
+		}
 		shardCounts, err := parseInts(*shards)
 		if err != nil {
 			fatal("bad -shards: %v", err)
 		}
-		sruns := shardSweep(cfg, shardCounts, readerCounts, *duration, time.Duration(cfg.IntervalNS))
+		sruns := shardSweep(ctx, cfg, shardCounts, readerCounts, *duration, time.Duration(cfg.IntervalNS))
 		if *jsonOut != "" {
 			writeShardJSON(*jsonOut, *jsonTag, *mergeIn, cfg, sruns)
 			fmt.Printf("wrote %s\n", *jsonOut)
@@ -132,15 +169,25 @@ func main() {
 		printRun(rr.Name, rr.Report)
 		runs = append(runs, rr)
 	}
-	if *isolate {
-		addRun(oneRun(cfg, 0, "update-only", *duration, true))
+	interrupted := func() bool {
+		if ctx.Err() != nil {
+			fmt.Println("stream: interrupted, skipping remaining runs")
+			return true
+		}
+		return false
+	}
+	if *isolate && !interrupted() {
+		addRun(oneRun(cfg, 0, "update-only", *duration, true, stop))
 	}
 	for _, r := range readerCounts {
-		addRun(oneRun(cfg, r, fmt.Sprintf("%d readers", r), *duration, true))
+		if interrupted() {
+			break
+		}
+		addRun(oneRun(cfg, r, fmt.Sprintf("%d readers", r), *duration, true, stop))
 	}
-	if *isolate {
+	if *isolate && !interrupted() {
 		last := readerCounts[len(readerCounts)-1]
-		addRun(oneRun(cfg, last, fmt.Sprintf("query-only (%d readers)", last), *duration, false))
+		addRun(oneRun(cfg, last, fmt.Sprintf("query-only (%d readers)", last), *duration, false, stop))
 	}
 
 	if *jsonOut != "" {
@@ -166,6 +213,21 @@ type config struct {
 	IntervalNS   int64  `json:"interval_ns"`
 	Seed         uint64 `json:"seed"`
 	Procs        int    `json:"procs"`
+
+	// Durability settings (-data empty means in-memory).
+	Data            string `json:"data_dir,omitempty"`
+	Fsync           string `json:"fsync,omitempty"`
+	FsyncIntervalNS int64  `json:"fsync_interval_ns,omitempty"`
+	CkptEvery       int    `json:"ckpt_every,omitempty"`
+}
+
+// durability translates the config into a stream.Durability (Data must be
+// non-empty).
+func (cfg config) durability() stream.Durability {
+	return durabilityFlags{
+		dir: cfg.Data, policy: cfg.Fsync,
+		fsyncInt: time.Duration(cfg.FsyncIntervalNS), ckptEvery: cfg.CkptEvery,
+	}.build()
 }
 
 type runResult struct {
@@ -192,17 +254,63 @@ func weightedBatch(gen rmat.Generator, lo, hi uint64) []aspen.WeightedEdge {
 	return out
 }
 
+// preload pushes the initial edge set through a durable engine's own
+// ingest path in moderate chunks (so it is WAL-logged and checkpointed like
+// any other batch) and flushes.
+func preload[G ligra.Graph, E any](e *stream.Engine[G, E], edges []E) {
+	const chunk = 1 << 17
+	for lo := 0; lo < len(edges); lo += chunk {
+		hi := min(lo+chunk, len(edges))
+		if _, err := e.Insert(edges[lo:hi]); err != nil {
+			fatal("preload: %v", err)
+		}
+	}
+	if _, err := e.Flush(); err != nil {
+		fatal("preload flush: %v", err)
+	}
+	if err := e.Err(); err != nil {
+		fatal("preload: %v", err)
+	}
+}
+
+// closeEngine closes e and, when durable, reports the WAL/checkpoint work
+// the run generated (Close writes a final checkpoint).
+func closeEngine[G ligra.Graph, E any](e *stream.Engine[G, E]) {
+	st := e.Stats()
+	e.Close()
+	if err := e.Err(); err != nil {
+		fatal("durability failure: %v", err)
+	}
+	if st.Durable {
+		fin := e.Stats()
+		fmt.Printf("durability: %d WAL appends, %d fsyncs, %d MiB logged, %d checkpoints (final on close)\n",
+			fin.WAL.Appends, fin.WAL.Syncs, fin.WAL.Bytes>>20, fin.Checkpoints)
+	}
+}
+
 // oneRun executes one run: combined writer+readers, update-only
 // (readers == 0), or query-only (withWriter == false, the isolated
-// query-latency baseline).
-func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bool) runResult {
+// query-latency baseline). With cfg.Data set the engine is durable: it
+// recovers the directory's prior state, logs every commit, and writes a
+// final checkpoint on close; stop (when non-nil) ends the run early.
+func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bool, stop <-chan struct{}) runResult {
 	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
 	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce,
 		PrebuildFlat: cfg.PrebuildFlat, PriorityEdges: cfg.Priority}
 	var rep stream.Report
 	if cfg.Weighted {
-		g := aspen.NewWeightedGraph().InsertEdges(weightedBatch(gen, 0, cfg.InitEdges))
-		e := stream.NewWeightedEngine(g, opts)
+		var e *stream.Engine[aspen.WeightedGraph, aspen.WeightedEdge]
+		if cfg.Data != "" {
+			var err error
+			e, err = stream.RecoverWeightedEngine(ctree.DefaultParams(), opts, cfg.durability())
+			if err != nil {
+				fatal("recover %s: %v", cfg.Data, err)
+			}
+			preload(e, weightedBatch(gen, 0, cfg.InitEdges))
+		} else {
+			g := aspen.NewWeightedGraph().InsertEdges(weightedBatch(gen, 0, cfg.InitEdges))
+			e = stream.NewWeightedEngine(g, opts)
+		}
 		w := stream.Workload[aspen.WeightedGraph, aspen.WeightedEdge]{
 			Engine:   e,
 			Readers:  readers,
@@ -210,16 +318,27 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 			Duration: d,
 			Interval: time.Duration(cfg.IntervalNS),
 			UseFlat:  cfg.Flat,
+			Stop:     stop,
 		}
 		if withWriter {
 			w.NextBatch = stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
 				func(lo, hi uint64) []aspen.WeightedEdge { return weightedBatch(gen, lo, hi) })
 		}
 		rep = w.Run()
-		e.Close()
+		closeEngine(e)
 	} else {
-		g := aspen.NewGraph(ctree.DefaultParams()).InsertEdges(aspen.MakeUndirected(gen.Edges(0, cfg.InitEdges)))
-		e := stream.NewGraphEngine(g, opts)
+		var e *stream.Engine[aspen.Graph, aspen.Edge]
+		if cfg.Data != "" {
+			var err error
+			e, err = stream.RecoverGraphEngine(ctree.DefaultParams(), opts, cfg.durability())
+			if err != nil {
+				fatal("recover %s: %v", cfg.Data, err)
+			}
+			preload(e, aspen.MakeUndirected(gen.Edges(0, cfg.InitEdges)))
+		} else {
+			g := aspen.NewGraph(ctree.DefaultParams()).InsertEdges(aspen.MakeUndirected(gen.Edges(0, cfg.InitEdges)))
+			e = stream.NewGraphEngine(g, opts)
+		}
 		w := stream.Workload[aspen.Graph, aspen.Edge]{
 			Engine:   e,
 			Readers:  readers,
@@ -227,13 +346,14 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 			Duration: d,
 			Interval: time.Duration(cfg.IntervalNS),
 			UseFlat:  cfg.Flat,
+			Stop:     stop,
 		}
 		if withWriter {
 			w.NextBatch = stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
 				func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) })
 		}
 		rep = w.Run()
-		e.Close()
+		closeEngine(e)
 	}
 	return runResult{Name: name, Report: rep}
 }
@@ -306,12 +426,13 @@ type shardRunResult struct {
 // shardSweep runs the PR-5 experiment: shard counts × reader counts ×
 // {saturated, paced (when -interval is set)}. Shard count 1 runs the plain
 // single engine — the baseline every speedup is quoted against.
-func shardSweep(cfg config, shardCounts, readerCounts []int, d, interval time.Duration) []shardRunResult {
+func shardSweep(ctx context.Context, cfg config, shardCounts, readerCounts []int, d, interval time.Duration) []shardRunResult {
 	var out []shardRunResult
 	paceModes := []time.Duration{0}
 	if interval > 0 {
 		paceModes = append(paceModes, interval)
 	}
+	stop := ctx.Done()
 	for _, pace := range paceModes {
 		mode := "saturated"
 		if pace > 0 {
@@ -322,14 +443,18 @@ func shardSweep(cfg config, shardCounts, readerCounts []int, d, interval time.Du
 			// same reader count and pace mode — like against like.
 			var base float64
 			for _, s := range shardCounts {
+				if ctx.Err() != nil {
+					fmt.Println("stream: interrupted, skipping remaining runs")
+					return out
+				}
 				name := fmt.Sprintf("%d shards, %d readers, %s", s, r, mode)
 				var rep shard.Report
 				if s <= 1 {
 					name = fmt.Sprintf("single engine, %d readers, %s", r, mode)
-					rep = oneShardRunSingle(cfg, r, d, pace)
+					rep = oneShardRunSingle(cfg, r, d, pace, stop)
 					base = rep.UpdatesPerSec
 				} else {
-					rep = oneShardRun(cfg, s, r, d, pace)
+					rep = oneShardRun(cfg, s, r, d, pace, stop)
 				}
 				printShardRun(name, rep, base)
 				out = append(out, shardRunResult{Name: name, Shards: max(s, 1), Report: rep})
@@ -376,7 +501,7 @@ func shardKernels(cfg config) []shard.Kernel {
 }
 
 // oneShardRun executes one sharded run at s shards.
-func oneShardRun(cfg config, s, readers int, d, pace time.Duration) shard.Report {
+func oneShardRun(cfg config, s, readers int, d, pace time.Duration, stop <-chan struct{}) shard.Report {
 	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
 	part := shardPartitioner(cfg, s)
 	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce,
@@ -388,7 +513,7 @@ func oneShardRun(cfg config, s, readers int, d, pace time.Duration) shard.Report
 		c := shard.NewWeightedClusterFrom(part, ctree.DefaultParams(), weightedBatch(gen, 0, cfg.InitEdges), opts)
 		w := shard.Workload[aspen.WeightedGraph, aspen.WeightedEdge]{
 			Cluster: c, Readers: readers, Kernels: shardKernels(cfg),
-			Duration: d, Interval: pace, UseFlat: cfg.Flat,
+			Duration: d, Interval: pace, UseFlat: cfg.Flat, Stop: stop,
 			NextBatch: stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
 				func(lo, hi uint64) []aspen.WeightedEdge { return weightedBatch(gen, lo, hi) }),
 		}
@@ -400,7 +525,7 @@ func oneShardRun(cfg config, s, readers int, d, pace time.Duration) shard.Report
 		aspen.MakeUndirected(gen.Edges(0, cfg.InitEdges)), opts)
 	w := shard.Workload[aspen.Graph, aspen.Edge]{
 		Cluster: c, Readers: readers, Kernels: shardKernels(cfg),
-		Duration: d, Interval: pace, UseFlat: cfg.Flat,
+		Duration: d, Interval: pace, UseFlat: cfg.Flat, Stop: stop,
 		NextBatch: stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
 			func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) }),
 	}
@@ -411,10 +536,10 @@ func oneShardRun(cfg config, s, readers int, d, pace time.Duration) shard.Report
 
 // oneShardRunSingle is the unsharded baseline of the sweep, reported in the
 // sharded Report shape so the rows compare directly.
-func oneShardRunSingle(cfg config, readers int, d, pace time.Duration) shard.Report {
+func oneShardRunSingle(cfg config, readers int, d, pace time.Duration, stop <-chan struct{}) shard.Report {
 	pacedCfg := cfg
 	pacedCfg.IntervalNS = pace.Nanoseconds()
-	rr := oneRun(pacedCfg, readers, "baseline", d, true)
+	rr := oneRun(pacedCfg, readers, "baseline", d, true, stop)
 	r := rr.Report
 	return shard.Report{
 		Shards: 1, Duration: r.Duration, Readers: r.Readers,

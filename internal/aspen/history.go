@@ -16,7 +16,13 @@ type History struct {
 	mu       sync.RWMutex
 	stamps   []uint64
 	versions []Graph
-	vg       *VersionedGraph
+	// pins holds the acquired version handle backing each retained entry
+	// (nil for the initial stamp-0 entry, which predates the store's
+	// version sequence). Retention therefore participates in the epoch
+	// refcounting: a retained version is never retired until TrimBefore
+	// releases its pin, and each pin is released exactly once.
+	pins []*Version[Graph]
+	vg   *VersionedGraph
 }
 
 // NewHistory wraps an initial graph, retaining it as stamp 0.
@@ -24,6 +30,7 @@ func NewHistory(g Graph) *History {
 	return &History{
 		stamps:   []uint64{0},
 		versions: []Graph{g},
+		pins:     []*Version[Graph]{nil},
 		vg:       NewVersionedGraph(g),
 	}
 }
@@ -31,30 +38,56 @@ func NewHistory(g Graph) *History {
 // Versioned exposes the underlying versioned graph (for concurrent readers).
 func (h *History) Versioned() *VersionedGraph { return h.vg }
 
-// retain records the just-published version.
-func (h *History) retain(stamp uint64, g Graph) {
+// retain records the just-published version, keeping v's reference pinned
+// until TrimBefore.
+func (h *History) retain(stamp uint64, v *Version[Graph]) {
 	h.mu.Lock()
 	h.stamps = append(h.stamps, stamp)
-	h.versions = append(h.versions, g)
+	h.versions = append(h.versions, v.Graph)
+	h.pins = append(h.pins, v)
 	h.mu.Unlock()
 }
 
 // InsertEdges publishes a new version with the batch inserted and retains it.
 func (h *History) InsertEdges(edges []Edge) uint64 {
 	stamp := h.vg.Update(func(g Graph) Graph { return g.InsertEdges(edges) })
-	v := h.vg.Acquire()
-	h.retain(stamp, v.Graph)
-	h.vg.Release(v)
+	h.retain(stamp, h.vg.Acquire())
 	return stamp
 }
 
 // DeleteEdges publishes a new version with the batch deleted and retains it.
 func (h *History) DeleteEdges(edges []Edge) uint64 {
 	stamp := h.vg.Update(func(g Graph) Graph { return g.DeleteEdges(edges) })
-	v := h.vg.Acquire()
-	h.retain(stamp, v.Graph)
-	h.vg.Release(v)
+	h.retain(stamp, h.vg.Acquire())
 	return stamp
+}
+
+// TrimBefore drops every retained version with stamp < s, keeping the rest
+// (the newest version is always kept even if its stamp is below s, so
+// Latest never dangles). Each dropped entry's pinned reference is released
+// exactly once, so superseded versions with no other readers are retired —
+// with the retire hook firing — by this call. Returns the number of
+// versions dropped.
+func (h *History) TrimBefore(s uint64) int {
+	h.mu.Lock()
+	cut := sort.Search(len(h.stamps), func(i int) bool { return h.stamps[i] >= s })
+	if cut == len(h.stamps) {
+		cut = len(h.stamps) - 1 // always keep the newest
+	}
+	drop := make([]*Version[Graph], cut)
+	copy(drop, h.pins[:cut])
+	h.stamps = append([]uint64(nil), h.stamps[cut:]...)
+	h.versions = append([]Graph(nil), h.versions[cut:]...)
+	h.pins = append([]*Version[Graph](nil), h.pins[cut:]...)
+	h.mu.Unlock()
+	// Release outside the lock: the retire hook runs on whichever goroutine
+	// drops the last reference and must not re-enter History under mu.
+	for _, v := range drop {
+		if v != nil {
+			h.vg.Release(v)
+		}
+	}
+	return cut
 }
 
 // Len returns the number of retained versions.

@@ -1,0 +1,242 @@
+package aspen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/ctree"
+	"repro/internal/graphio"
+	"repro/internal/parallel"
+	"repro/internal/pftree"
+)
+
+// This file converts graphs to and from graphio.Snapshot, the checkpoint
+// format of the durability subsystem. The export walks the immutable
+// vertex-tree (so it can run on a pinned snapshot concurrently with the
+// writer), and the import rebuilds the trees bottom-up with the same
+// parallel construction FromAdjacency uses. Because batch application is
+// deterministic, a graph imported from a checkpoint and then replayed
+// through the same WAL suffix reconverges with the pre-crash state.
+
+// Snapshot flattens g into its serializable form. Vertex ids are preserved
+// exactly — gaps and isolated vertices survive the round trip.
+func (g Graph) Snapshot() *graphio.Snapshot {
+	verts, trees, offs := flattenVertexTree(vops, g.vt)
+	s := &graphio.Snapshot{Verts: verts, Offs: offs, Edges: make([]uint32, offs[len(offs)-1])}
+	parallel.ForGrain(len(trees), 16, func(i int) {
+		out := s.Edges[offs[i]:offs[i+1]]
+		k := 0
+		trees[i].ForEach(func(v uint32) bool {
+			out[k] = v
+			k++
+			return true
+		})
+	})
+	return s
+}
+
+// Snapshot flattens g, interleaving each edge's float32 weight into the
+// payload section (Width = 4, little-endian).
+func (g WeightedGraph) Snapshot() *graphio.Snapshot {
+	verts, trees, offs := flattenVertexTree(wvops, g.vt)
+	m := offs[len(offs)-1]
+	s := &graphio.Snapshot{
+		Width:   4,
+		Verts:   verts,
+		Offs:    offs,
+		Edges:   make([]uint32, m),
+		Payload: make([]byte, 4*m),
+	}
+	parallel.ForGrain(len(trees), 16, func(i int) {
+		k := offs[i]
+		trees[i].ForEachKV(func(v uint32, w float32) bool {
+			s.Edges[k] = v
+			binary.LittleEndian.PutUint32(s.Payload[4*k:], math.Float32bits(w))
+			k++
+			return true
+		})
+	})
+	return s
+}
+
+// flattenVertexTree walks the vertex tree once, collecting ids, edge trees
+// and the exclusive prefix-sum of degrees.
+func flattenVertexTree[V ctree.Value](ops *vopsT[V], vt *vnode[V]) ([]uint32, []ctree.Tree[V], []uint64) {
+	n := vt.Size()
+	verts := make([]uint32, 0, n)
+	trees := make([]ctree.Tree[V], 0, n)
+	offs := make([]uint64, 1, n+1)
+	ops.ForEach(vt, func(u uint32, et ctree.Tree[V]) bool {
+		verts = append(verts, u)
+		trees = append(trees, et)
+		offs = append(offs, offs[len(offs)-1]+et.Size())
+		return true
+	})
+	return verts, trees, offs
+}
+
+// GraphFromSnapshot rebuilds an unweighted graph from its snapshot form.
+// The snapshot's structure was already validated by graphio.ReadSnapshot;
+// the per-vertex neighbor order is checked here (building a C-tree from an
+// unsorted list would corrupt it silently), so a damaged-but-checksum-valid
+// file still cannot produce an invalid graph.
+func GraphFromSnapshot(p ctree.Params, s *graphio.Snapshot) (Graph, error) {
+	if s.Width != 0 {
+		return Graph{}, fmt.Errorf("aspen: snapshot has payload width %d, want 0: %w", s.Width, graphio.ErrCorrupt)
+	}
+	if err := checkSnapshotOrder(s); err != nil {
+		return Graph{}, err
+	}
+	entries := make([]pftree.Entry[uint32, ctree.Set], len(s.Verts))
+	parallel.ForGrain(len(s.Verts), 16, func(i int) {
+		entries[i] = pftree.Entry[uint32, ctree.Set]{
+			Key: s.Verts[i],
+			Val: ctree.Build(p, s.Edges[s.Offs[i]:s.Offs[i+1]]),
+		}
+	})
+	return Graph{p: p, vt: vops.BuildSorted(entries)}, nil
+}
+
+// WeightedGraphFromSnapshot rebuilds a weighted graph from its snapshot
+// form (payload width must be 4: one little-endian float32 per edge).
+func WeightedGraphFromSnapshot(p ctree.Params, s *graphio.Snapshot) (WeightedGraph, error) {
+	if s.Width != 4 {
+		return WeightedGraph{}, fmt.Errorf("aspen: snapshot has payload width %d, want 4: %w", s.Width, graphio.ErrCorrupt)
+	}
+	if err := checkSnapshotOrder(s); err != nil {
+		return WeightedGraph{}, err
+	}
+	entries := make([]pftree.Entry[uint32, ctree.Tree[float32]], len(s.Verts))
+	parallel.ForGrain(len(s.Verts), 16, func(i int) {
+		lo, hi := s.Offs[i], s.Offs[i+1]
+		ws := make([]float32, hi-lo)
+		for j := range ws {
+			ws[j] = math.Float32frombits(binary.LittleEndian.Uint32(s.Payload[4*(lo+uint64(j)):]))
+		}
+		entries[i] = pftree.Entry[uint32, ctree.Tree[float32]]{
+			Key: s.Verts[i],
+			Val: ctree.BuildKV(p, s.Edges[lo:hi], ws),
+		}
+	})
+	return WeightedGraph{p: p, vt: wvops.BuildSorted(entries)}, nil
+}
+
+// checkSnapshotOrder verifies every neighbor list is strictly increasing.
+func checkSnapshotOrder(s *graphio.Snapshot) error {
+	var bad atomic.Bool
+	parallel.ForGrain(len(s.Verts), 16, func(i int) {
+		nbrs := s.Edges[s.Offs[i]:s.Offs[i+1]]
+		for j := 1; j < len(nbrs); j++ {
+			if nbrs[j-1] >= nbrs[j] {
+				bad.Store(true)
+				return
+			}
+		}
+	})
+	if bad.Load() {
+		return fmt.Errorf("aspen: snapshot neighbor lists not strictly increasing: %w", graphio.ErrCorrupt)
+	}
+	return nil
+}
+
+// Equal reports whether g and o are the same logical graph: the same vertex
+// set and, per vertex, the same neighbor set. Vertices whose edge trees are
+// pointer-identical across the two graphs (the common case when one version
+// derives from the other) compare in O(1) via EqualRep; only genuinely
+// divergent trees are walked. Needed by crash-recovery verification, where
+// the recovered graph was rebuilt from disk and shares no pointers with the
+// original.
+func (g Graph) Equal(o Graph) bool {
+	if g.vt == o.vt {
+		return true
+	}
+	if g.NumVertices() != o.NumVertices() || g.NumEdges() != o.NumEdges() {
+		return false
+	}
+	equal := true
+	g.ForEachVertex(func(u uint32, et ctree.Set) bool {
+		ot, ok := vops.Find(o.vt, u)
+		if !ok || !setsEqual(et, ot) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+func setsEqual(a, b ctree.Set) bool {
+	if a.EqualRep(b) {
+		return true
+	}
+	if a.Size() != b.Size() {
+		return false
+	}
+	nbrs := make([]uint32, 0, a.Size())
+	a.ForEach(func(v uint32) bool {
+		nbrs = append(nbrs, v)
+		return true
+	})
+	i, same := 0, true
+	b.ForEach(func(v uint32) bool {
+		if nbrs[i] != v {
+			same = false
+			return false
+		}
+		i++
+		return true
+	})
+	return same
+}
+
+// Equal reports whether g and o are the same logical weighted graph,
+// comparing neighbor sets and exact float32 weights. Same EqualRep fast
+// path as the unweighted form.
+func (g WeightedGraph) Equal(o WeightedGraph) bool {
+	if g.vt == o.vt {
+		return true
+	}
+	if g.NumVertices() != o.NumVertices() || g.NumEdges() != o.NumEdges() {
+		return false
+	}
+	equal := true
+	g.ForEachVertexW(func(u uint32, et ctree.Tree[float32]) bool {
+		ot, ok := wvops.Find(o.vt, u)
+		if !ok || !weightedEqual(et, ot) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+func weightedEqual(a, b ctree.Tree[float32]) bool {
+	if a.EqualRep(b) {
+		return true
+	}
+	if a.Size() != b.Size() {
+		return false
+	}
+	type kv struct {
+		v uint32
+		w float32
+	}
+	kvs := make([]kv, 0, a.Size())
+	a.ForEachKV(func(v uint32, w float32) bool {
+		kvs = append(kvs, kv{v, w})
+		return true
+	})
+	i, same := 0, true
+	b.ForEachKV(func(v uint32, w float32) bool {
+		if kvs[i].v != v || math.Float32bits(kvs[i].w) != math.Float32bits(w) {
+			same = false
+			return false
+		}
+		i++
+		return true
+	})
+	return same
+}

@@ -52,7 +52,7 @@ func ReadAdjacency(r io.Reader) ([][]uint32, error) {
 		if err := sc.Err(); err != nil {
 			return "", err
 		}
-		return "", io.ErrUnexpectedEOF
+		return "", corruptf("graphio: truncated adjacency file")
 	}
 	sc.Split(bufio.ScanWords)
 	head, err := next()
@@ -60,7 +60,7 @@ func ReadAdjacency(r io.Reader) ([][]uint32, error) {
 		return nil, err
 	}
 	if head != "AdjacencyGraph" {
-		return nil, fmt.Errorf("graphio: bad header %q", head)
+		return nil, corruptf("graphio: bad header %q", head)
 	}
 	readInt := func() (uint64, error) {
 		tok, err := next()
@@ -95,7 +95,7 @@ func ReadAdjacency(r io.Reader) ([][]uint32, error) {
 	adj := make([][]uint32, n)
 	for u := uint64(0); u < n; u++ {
 		if offs[u] > offs[u+1] || offs[u+1] > m {
-			return nil, fmt.Errorf("graphio: bad offsets at vertex %d", u)
+			return nil, corruptf("graphio: bad offsets at vertex %d", u)
 		}
 		adj[u] = edges[offs[u]:offs[u+1]]
 	}
@@ -136,35 +136,48 @@ func WriteBinary(w io.Writer, adj [][]uint32) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the binary format.
+// ReadBinary parses the binary format. Truncation and framing damage are
+// reported as ErrCorrupt; genuine I/O errors pass through unchanged.
 func ReadBinary(r io.Reader) ([][]uint32, error) {
 	br := bufio.NewReader(r)
 	var magic, n, m uint64
 	for _, p := range []*uint64{&magic, &n, &m} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, err
+			return nil, truncOr(err)
 		}
 	}
 	if magic != binaryMagic {
-		return nil, fmt.Errorf("graphio: bad magic %#x", magic)
+		return nil, corruptf("graphio: bad magic %#x", magic)
+	}
+	if n > maxSnapDim || m > maxSnapDim {
+		return nil, corruptf("graphio: implausible dimensions (n=%d m=%d)", n, m)
 	}
 	offs := make([]uint64, n+1)
 	for i := uint64(0); i < n; i++ {
 		if err := binary.Read(br, binary.LittleEndian, &offs[i]); err != nil {
-			return nil, err
+			return nil, truncOr(err)
 		}
 	}
 	offs[n] = m
 	edges := make([]uint32, m)
 	if err := binary.Read(br, binary.LittleEndian, edges); err != nil {
-		return nil, err
+		return nil, truncOr(err)
 	}
 	adj := make([][]uint32, n)
 	for u := uint64(0); u < n; u++ {
 		if offs[u] > offs[u+1] || offs[u+1] > m {
-			return nil, fmt.Errorf("graphio: bad offsets at vertex %d", u)
+			return nil, corruptf("graphio: bad offsets at vertex %d", u)
 		}
 		adj[u] = edges[offs[u]:offs[u+1]]
 	}
 	return adj, nil
+}
+
+// truncOr maps end-of-data errors to ErrCorrupt (a truncated file), and
+// returns any other error unchanged.
+func truncOr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return corruptf("graphio: truncated binary file")
+	}
+	return err
 }

@@ -1,10 +1,11 @@
-package graphio
+package graphio_test
 
 import (
 	"bytes"
 	"strings"
 	"testing"
 
+	"repro/internal/graphio"
 	"repro/internal/rmat"
 )
 
@@ -28,10 +29,10 @@ func adjEqual(a, b [][]uint32) bool {
 func TestTextRoundTrip(t *testing.T) {
 	adj := rmat.NewGenerator(8, 4).Adjacency(1000)
 	var buf bytes.Buffer
-	if err := WriteAdjacency(&buf, adj); err != nil {
+	if err := graphio.WriteAdjacency(&buf, adj); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadAdjacency(&buf)
+	got, err := graphio.ReadAdjacency(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,10 +44,10 @@ func TestTextRoundTrip(t *testing.T) {
 func TestBinaryRoundTrip(t *testing.T) {
 	adj := rmat.NewGenerator(9, 6).Adjacency(3000)
 	var buf bytes.Buffer
-	if err := WriteBinary(&buf, adj); err != nil {
+	if err := graphio.WriteBinary(&buf, adj); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadBinary(&buf)
+	got, err := graphio.ReadBinary(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,10 +58,10 @@ func TestBinaryRoundTrip(t *testing.T) {
 
 func TestEmptyGraph(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteAdjacency(&buf, nil); err != nil {
+	if err := graphio.WriteAdjacency(&buf, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := ReadAdjacency(&buf)
+	got, err := graphio.ReadAdjacency(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,16 +71,16 @@ func TestEmptyGraph(t *testing.T) {
 }
 
 func TestBadHeader(t *testing.T) {
-	if _, err := ReadAdjacency(strings.NewReader("WeightedAdjacencyGraph\n1\n0\n0\n")); err == nil {
+	if _, err := graphio.ReadAdjacency(strings.NewReader("WeightedAdjacencyGraph\n1\n0\n0\n")); err == nil {
 		t.Fatal("expected header error")
 	}
-	if _, err := ReadBinary(strings.NewReader("garbage-bytes")); err == nil {
+	if _, err := graphio.ReadBinary(strings.NewReader("garbage-bytes")); err == nil {
 		t.Fatal("expected magic error")
 	}
 }
 
 func TestTruncatedInput(t *testing.T) {
-	if _, err := ReadAdjacency(strings.NewReader("AdjacencyGraph\n5\n10\n0\n")); err == nil {
+	if _, err := graphio.ReadAdjacency(strings.NewReader("AdjacencyGraph\n5\n10\n0\n")); err == nil {
 		t.Fatal("expected truncation error")
 	}
 }

@@ -1,0 +1,312 @@
+package graphio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt reports a damaged or truncated graph file: bad magic, a
+// failed checksum, inconsistent offsets, or an unexpected end of data.
+// Callers distinguish it from I/O errors with errors.Is — a corrupt
+// checkpoint is skipped in favor of an older one, while a permission
+// error should stop recovery cold.
+var ErrCorrupt = errors.New("graphio: corrupt file")
+
+// corruptf wraps ErrCorrupt with context.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}
+
+// Snapshot is the on-disk form of one graph version: a sparse CSR whose
+// vertex ids are stored explicitly (isolated vertices and id gaps survive
+// a round trip exactly), with an optional fixed-width per-edge payload —
+// the same payload-generality as the in-memory chunks, so the weighted
+// graph serializes through the identical shape with Width = 4.
+type Snapshot struct {
+	// Width is the payload bytes per edge (0 for unweighted graphs).
+	Width int
+	// Verts lists the vertex ids present, strictly increasing.
+	Verts []uint32
+	// Offs has len(Verts)+1 entries; vertex Verts[i]'s neighbors are
+	// Edges[Offs[i]:Offs[i+1]]. Offs[0] is 0.
+	Offs []uint64
+	// Edges holds the concatenated neighbor ids.
+	Edges []uint32
+	// Payload holds Width bytes per edge, aligned with Edges.
+	Payload []byte
+}
+
+// NumEdges returns the number of directed edges in the snapshot.
+func (s *Snapshot) NumEdges() uint64 { return uint64(len(s.Edges)) }
+
+// Snapshot file layout (all little-endian):
+//
+//	header (36 bytes): magic u32, version u32, width u32, reserved u32,
+//	                   nverts u64, medges u64, crc32c(header[0:32]) u32
+//	body:  verts (4·n), offs (8·(n+1)), edges (4·m), payload (width·m)
+//	trailer (4 bytes): crc32c(body)
+//
+// The header checksum catches a torn or overwritten header before any
+// allocation is sized from it; the body checksum catches torn tails and
+// bit rot. Both failures surface as ErrCorrupt.
+const (
+	snapMagic   = 0x43505341 // "ASPC"
+	snapVersion = 1
+	snapHeader  = 36
+	// maxSnapDim caps the vertex/edge counts read from a header before
+	// allocating, so a corrupt header cannot OOM the process.
+	maxSnapDim = 1 << 40
+)
+
+// crcWriter tees writes into a running CRC32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeUint32s writes vals little-endian through a reused scratch buffer.
+func writeUint32s(w io.Writer, scratch []byte, vals []uint32) error {
+	for len(vals) > 0 {
+		n := len(scratch) / 4
+		if n > len(vals) {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(scratch[4*i:], vals[i])
+		}
+		if _, err := w.Write(scratch[:4*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func writeUint64s(w io.Writer, scratch []byte, vals []uint64) error {
+	for len(vals) > 0 {
+		n := len(scratch) / 8
+		if n > len(vals) {
+			n = len(vals)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(scratch[8*i:], vals[i])
+		}
+		if _, err := w.Write(scratch[:8*n]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+// WriteSnapshot writes s in the checksummed binary snapshot format.
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	n, m := len(s.Verts), len(s.Edges)
+	if len(s.Offs) != n+1 {
+		return fmt.Errorf("graphio: snapshot has %d offsets for %d vertices", len(s.Offs), n)
+	}
+	if len(s.Payload) != s.Width*m {
+		return fmt.Errorf("graphio: snapshot payload is %d bytes, want %d", len(s.Payload), s.Width*m)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [snapHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], snapMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], snapVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(s.Width))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(n))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(m))
+	binary.LittleEndian.PutUint32(hdr[32:], crc32.Checksum(hdr[:32], castagnoli))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	scratch := make([]byte, 1<<16)
+	if err := writeUint32s(cw, scratch, s.Verts); err != nil {
+		return err
+	}
+	if err := writeUint64s(cw, scratch, s.Offs); err != nil {
+		return err
+	}
+	if err := writeUint32s(cw, scratch, s.Edges); err != nil {
+		return err
+	}
+	if _, err := cw.Write(s.Payload); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], cw.crc)
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// crcReader tees reads into a running CRC32C.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+func readUint32s(r io.Reader, scratch []byte, out []uint32) error {
+	for len(out) > 0 {
+		n := len(scratch) / 4
+		if n > len(out) {
+			n = len(out)
+		}
+		if _, err := io.ReadFull(r, scratch[:4*n]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			out[i] = binary.LittleEndian.Uint32(scratch[4*i:])
+		}
+		out = out[n:]
+	}
+	return nil
+}
+
+func readUint64s(r io.Reader, scratch []byte, out []uint64) error {
+	for len(out) > 0 {
+		n := len(scratch) / 8
+		if n > len(out) {
+			n = len(out)
+		}
+		if _, err := io.ReadFull(r, scratch[:8*n]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			out[i] = binary.LittleEndian.Uint64(scratch[8*i:])
+		}
+		out = out[n:]
+	}
+	return nil
+}
+
+// ReadSnapshot parses the checksummed binary snapshot format, returning
+// ErrCorrupt (wrapped) on any framing, checksum or consistency failure.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [snapHeader]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, corruptf("graphio: short snapshot header")
+	}
+	if crc32.Checksum(hdr[:32], castagnoli) != binary.LittleEndian.Uint32(hdr[32:]) {
+		return nil, corruptf("graphio: snapshot header checksum mismatch")
+	}
+	if magic := binary.LittleEndian.Uint32(hdr[0:]); magic != snapMagic {
+		return nil, corruptf("graphio: bad snapshot magic %#x", magic)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != snapVersion {
+		return nil, corruptf("graphio: unsupported snapshot version %d", v)
+	}
+	width := int(binary.LittleEndian.Uint32(hdr[8:]))
+	n := binary.LittleEndian.Uint64(hdr[16:])
+	m := binary.LittleEndian.Uint64(hdr[24:])
+	if width > 64 || n > maxSnapDim || m > maxSnapDim {
+		return nil, corruptf("graphio: implausible snapshot dimensions (width=%d n=%d m=%d)", width, n, m)
+	}
+	s := &Snapshot{
+		Width: width,
+		Verts: make([]uint32, n),
+		Offs:  make([]uint64, n+1),
+		Edges: make([]uint32, m),
+	}
+	cr := &crcReader{r: br}
+	scratch := make([]byte, 1<<16)
+	if err := readUint32s(cr, scratch, s.Verts); err != nil {
+		return nil, corruptf("graphio: truncated snapshot vertices")
+	}
+	if err := readUint64s(cr, scratch, s.Offs); err != nil {
+		return nil, corruptf("graphio: truncated snapshot offsets")
+	}
+	if err := readUint32s(cr, scratch, s.Edges); err != nil {
+		return nil, corruptf("graphio: truncated snapshot edges")
+	}
+	if width > 0 {
+		s.Payload = make([]byte, uint64(width)*m)
+		if _, err := io.ReadFull(cr, s.Payload); err != nil {
+			return nil, corruptf("graphio: truncated snapshot payload")
+		}
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, corruptf("graphio: missing snapshot trailer")
+	}
+	if cr.crc != binary.LittleEndian.Uint32(trailer[:]) {
+		return nil, corruptf("graphio: snapshot body checksum mismatch")
+	}
+	// Structural consistency: offsets must be a monotone prefix ending at
+	// m, vertex ids strictly increasing.
+	if s.Offs[0] != 0 || s.Offs[n] != m {
+		return nil, corruptf("graphio: snapshot offsets do not span the edge array")
+	}
+	for i := uint64(0); i < n; i++ {
+		if s.Offs[i] > s.Offs[i+1] {
+			return nil, corruptf("graphio: snapshot offsets decrease at vertex %d", i)
+		}
+		if i > 0 && s.Verts[i-1] >= s.Verts[i] {
+			return nil, corruptf("graphio: snapshot vertex ids not strictly increasing at %d", i)
+		}
+	}
+	return s, nil
+}
+
+// WriteFile writes a file atomically and durably: the content goes to a
+// temp file in the target's directory, is flushed and fsynced, the file
+// closed, renamed over the target, and the directory fsynced — with every
+// error on the way checked and propagated (a checkpoint that lies about
+// being on disk is worse than no checkpoint).
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

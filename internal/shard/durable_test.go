@@ -1,0 +1,247 @@
+package shard
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/aspen"
+	"repro/internal/stream"
+	"repro/internal/wal"
+)
+
+// clusterBatch returns the i-th batch of the deterministic cluster update
+// stream: mostly inserts, with every fifth batch deleting a previously
+// inserted batch's edges (so deletions do real work).
+func clusterBatch(i int) (del bool, edges []aspen.Edge) {
+	if i%5 == 4 {
+		return true, aspen.MakeUndirected(randomEdges(30, 1<<9, uint64(2000+i-2)))
+	}
+	return false, aspen.MakeUndirected(randomEdges(30, 1<<9, uint64(2000+i)))
+}
+
+// shardPrefixes[s][j] is shard s's graph after cluster batches 0..j-1 were
+// routed and applied — the per-shard ground truth recovery must land on.
+func shardPrefixes(part Partitioner, n int) [][]aspen.Graph {
+	out := make([][]aspen.Graph, part.Shards())
+	cur := make([]aspen.Graph, part.Shards())
+	for s := range cur {
+		cur[s] = aspen.NewGraph(testParams())
+		out[s] = append(out[s], cur[s])
+	}
+	for i := 0; i < n; i++ {
+		del, edges := clusterBatch(i)
+		for s, sub := range Route(part, edges, EdgeSource) {
+			if len(sub) > 0 {
+				if del {
+					cur[s] = cur[s].DeleteEdges(sub)
+				} else {
+					cur[s] = cur[s].InsertEdges(sub)
+				}
+			}
+			out[s] = append(out[s], cur[s])
+		}
+	}
+	return out
+}
+
+func shardGraph(t *testing.T, c *Cluster[aspen.Graph, aspen.Edge], s int) aspen.Graph {
+	t.Helper()
+	tx := c.Engine(s).Begin()
+	defer tx.Close()
+	return tx.Graph()
+}
+
+func TestDurableClusterRestart(t *testing.T) {
+	root := t.TempDir()
+	part := NewRangePartitioner(3, 1<<9)
+	dur := stream.Durability{Dir: root, Policy: stream.SyncOff, CheckpointEvery: 4}
+
+	c, err := OpenGraphCluster(part, testParams(), stream.Options{}, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		del, edges := clusterBatch(i)
+		var p Pending
+		if del {
+			p, err = c.Delete(edges)
+		} else {
+			p, err = c.Insert(edges)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Wait()
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	if got := CountShardDirs(root); got != 3 {
+		t.Fatalf("CountShardDirs = %d, want 3", got)
+	}
+
+	// Reopen: every shard must recover exactly its full routed stream (the
+	// graceful Close wrote a final checkpoint per shard).
+	c2, err := OpenGraphCluster(part, testParams(), stream.Options{}, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	want := shardPrefixes(part, n)
+	for s := 0; s < part.Shards(); s++ {
+		if g := shardGraph(t, c2, s); !g.Equal(want[s][n]) {
+			t.Fatalf("shard %d recovered %d edges, want %d (full stream)",
+				s, g.NumEdges(), want[s][n].NumEdges())
+		}
+	}
+
+	// The recovered cluster keeps serving: one more cross-shard batch.
+	p, err := c2.Insert(aspen.MakeUndirected([]aspen.Edge{{Src: 1, Dst: 400}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	tx := c2.Begin()
+	defer tx.Close()
+	found := false
+	tx.Graph().ForEachNeighbor(400, func(v uint32) bool {
+		found = found || v == 1
+		return !found
+	})
+	if !found {
+		t.Fatal("post-recovery insert not visible")
+	}
+}
+
+// TestDurableClusterShardCrash fail-stops one shard's WAL mid-stream while
+// the others keep committing, then recovers the whole cluster. The crashed
+// shard must come back as a prefix of its own routed stream no older than
+// its last cluster-acknowledged batch (fsync-per-commit: acked implies
+// durable); the healthy shards must come back complete.
+func TestDurableClusterShardCrash(t *testing.T) {
+	root := t.TempDir()
+	part := NewRangePartitioner(3, 1<<9)
+	const crashShard = 1
+	dur := stream.Durability{Dir: root, Policy: stream.SyncEveryCommit, CheckpointEvery: 3}
+
+	// Assemble the cluster by hand so only one shard gets the failpoint.
+	var appends atomic.Int64
+	boom := errors.New("injected shard crash")
+	engines := make([]*stream.Engine[aspen.Graph, aspen.Edge], part.Shards())
+	for s := range engines {
+		d := dur
+		d.Dir = ShardDir(root, s)
+		if s == crashShard {
+			d.Fail = func(op string) error {
+				if op == "append" && appends.Add(1) > 6 {
+					return boom
+				}
+				return nil
+			}
+		}
+		e, err := stream.RecoverGraphEngine(testParams(), stream.Options{}, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines[s] = e
+	}
+	c := New(part, engines, EdgeSource)
+
+	const n = 20
+	acked, submitted := 0, 0
+	for i := 0; i < n; i++ {
+		del, edges := clusterBatch(i)
+		var p Pending
+		var err error
+		if del {
+			p, err = c.Delete(edges)
+		} else {
+			p, err = c.Insert(edges)
+		}
+		if err != nil {
+			break
+		}
+		submitted = i + 1
+		p.Wait()
+		if c.Err() != nil {
+			break
+		}
+		acked = i + 1
+	}
+	if c.Err() == nil {
+		t.Fatal("injected crash never fired")
+	}
+	c.Close()
+
+	// Recover through the public open path (no failpoints this time).
+	c2, err := OpenGraphCluster(part, testParams(), stream.Options{}, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	want := shardPrefixes(part, n)
+	for s := 0; s < part.Shards(); s++ {
+		g := shardGraph(t, c2, s)
+		match := -1
+		for j := acked; j <= submitted; j++ {
+			if g.Equal(want[s][j]) {
+				match = j
+				break
+			}
+		}
+		if match < 0 {
+			t.Fatalf("shard %d recovered %d edges: matches no routed prefix in [%d, %d]",
+				s, g.NumEdges(), acked, submitted)
+		}
+		if s != crashShard && !g.Equal(want[s][submitted]) {
+			t.Fatalf("healthy shard %d lost batches: recovered prefix %d of %d submitted", s, match, submitted)
+		}
+	}
+}
+
+func TestDurableBarrierForcesFsync(t *testing.T) {
+	root := t.TempDir()
+	part := NewHashPartitioner(2)
+	dur := stream.Durability{Dir: root, Policy: stream.SyncOff}
+	c, err := OpenGraphCluster(part, testParams(), stream.Options{}, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Insert(aspen.MakeUndirected(randomEdges(100, 1<<9, 77))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DurableBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < part.Shards(); s++ {
+		st := c.Engine(s).WALStats()
+		if st.Appends == 0 {
+			t.Fatalf("shard %d logged nothing", s)
+		}
+		if st.Syncs == 0 {
+			t.Fatalf("shard %d: DurableBarrier did not fsync (policy off)", s)
+		}
+	}
+}
+
+func TestOpenClusterPropagatesShardError(t *testing.T) {
+	root := t.TempDir()
+	part := NewHashPartitioner(2)
+	fail := func(op string) error {
+		if op == "sync" {
+			return wal.ErrCrash
+		}
+		return nil
+	}
+	dur := stream.Durability{Dir: root, Policy: stream.SyncEveryCommit, Fail: fail}
+	if _, err := OpenGraphCluster(part, testParams(), stream.Options{}, dur); err != nil {
+		// Opening an empty directory does not sync; if this ever changes the
+		// error must name the shard.
+		t.Logf("open failed early: %v", err)
+	}
+}

@@ -42,6 +42,10 @@ type Workload[G ligra.Graph, E any] struct {
 	// UseFlat routes kernels through the stitched flat view (Tx.Flat)
 	// instead of the cross-shard tree view.
 	UseFlat bool
+	// Stop, when non-nil, ends the run early once closed (graceful
+	// shutdown): the writer stops submitting, submitted batches flush on
+	// every shard, and readers drain as usual.
+	Stop <-chan struct{}
 }
 
 // Report is the outcome of one sharded workload run. Counters are deltas
@@ -101,6 +105,7 @@ func (w *Workload[G, E]) Run() Report {
 		Flush:    func() { stamps, _ = w.Cluster.FlushAll() },
 		Duration: w.Duration,
 		Interval: w.Interval,
+		Stop:     w.Stop,
 	}
 	if w.NextBatch != nil {
 		spec.Submit = func(i uint64) error {

@@ -15,6 +15,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -22,10 +23,15 @@ import (
 
 	"repro/internal/aspen"
 	"repro/internal/ligra"
+	"repro/internal/wal"
 )
 
 // ErrClosed is returned by Insert/Delete/Flush after Close.
 var ErrClosed = errors.New("stream: engine closed")
+
+// ErrQueueFull is returned by TrySubmit when the ingest queue is at
+// capacity (the non-blocking alternative to Insert/Delete backpressure).
+var ErrQueueFull = errors.New("stream: queue full")
 
 // Options tunes the ingest queue. The zero value selects defaults.
 type Options struct {
@@ -92,6 +98,12 @@ type Engine[G ligra.Graph, E any] struct {
 	flat       flatCache[G]
 	userRetire func(stamp uint64)
 
+	// dur, when non-nil, is the durable commit path (durable.go): WAL
+	// append + policy fsync before apply/ack, background checkpointing.
+	// Attached by Recover between newEngine and start.
+	dur   *durable[G, E]
+	durWG sync.WaitGroup // checkpointer + sync ticker
+
 	mu     sync.RWMutex // guards closed and the queue close
 	closed bool
 	queue  chan pending[E]
@@ -109,6 +121,14 @@ type Engine[G ligra.Graph, E any] struct {
 // call Close to stop it. Submitted edge slices must not be mutated by the
 // caller afterwards (the engine never mutates them).
 func New[G ligra.Graph, E any](g G, insert, remove func(G, []E) G, opts Options) *Engine[G, E] {
+	e := newEngine(g, insert, remove, opts)
+	e.start()
+	return e
+}
+
+// newEngine builds the engine without starting any goroutine, so durable
+// state (Recover) can attach before the ingest loop first reads it.
+func newEngine[G ligra.Graph, E any](g G, insert, remove func(G, []E) G, opts Options) *Engine[G, E] {
 	e := &Engine[G, E]{
 		reg:    aspen.NewVersioned(g),
 		insert: insert,
@@ -127,9 +147,22 @@ func New[G ligra.Graph, E any](g G, insert, remove func(G, []E) G, opts Options)
 			fn(stamp)
 		}
 	})
+	return e
+}
+
+// start launches the ingest loop and, when durability is attached, the
+// checkpointer and (under SyncInterval) the fsync ticker.
+func (e *Engine[G, E]) start() {
+	if e.dur != nil {
+		e.durWG.Add(1)
+		go e.checkpointer()
+		if e.dur.opts.Policy == SyncInterval {
+			e.durWG.Add(1)
+			go e.syncLoop()
+		}
+	}
 	e.wg.Add(1)
 	go e.loop()
-	return e
 }
 
 // NewGraphEngine serves an unweighted aspen.Graph with the §5.1 flat-view
@@ -219,6 +252,54 @@ func (e *Engine[G, E]) submitTo(del bool, edges []E, prio bool) (Pending, error)
 	return Pending{ch: done}, nil
 }
 
+// TrySubmit enqueues a batch without blocking: a full queue returns
+// ErrQueueFull instead of applying backpressure, so latency-sensitive
+// producers can shed load (drop, buffer elsewhere, or retry) rather than
+// stall. Routing (priority lane) matches Insert/Delete.
+func (e *Engine[G, E]) TrySubmit(del bool, edges []E) (Pending, error) {
+	prio := e.prio != nil && len(edges) > 0 && len(edges) <= e.opts.PriorityEdges
+	done := make(chan uint64, 1)
+	p := pending[E]{del: del, edges: edges, enq: time.Now(), done: done}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return closedPending, ErrClosed
+	}
+	lane := e.queue
+	if prio {
+		lane = e.prio
+	}
+	select {
+	case lane <- p:
+		return Pending{ch: done}, nil
+	default:
+		return closedPending, ErrQueueFull
+	}
+}
+
+// SubmitCtx enqueues a batch, giving up when ctx is done while blocked on
+// a full queue. The returned error is ctx.Err() on cancellation.
+func (e *Engine[G, E]) SubmitCtx(ctx context.Context, del bool, edges []E) (Pending, error) {
+	prio := e.prio != nil && len(edges) > 0 && len(edges) <= e.opts.PriorityEdges
+	done := make(chan uint64, 1)
+	p := pending[E]{del: del, edges: edges, enq: time.Now(), done: done}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return closedPending, ErrClosed
+	}
+	lane := e.queue
+	if prio {
+		lane = e.prio
+	}
+	select {
+	case lane <- p:
+		return Pending{ch: done}, nil
+	case <-ctx.Done():
+		return closedPending, ctx.Err()
+	}
+}
+
 // Flush blocks until every batch submitted before the call has committed,
 // and returns the stamp current at that point. With the priority lane
 // enabled, one marker rides each lane so both are covered.
@@ -252,6 +333,11 @@ func (e *Engine[G, E]) Close() {
 	}
 	e.mu.Unlock()
 	e.wg.Wait()
+	if e.dur != nil {
+		// Drain the background durability goroutines, write a final
+		// checkpoint of the current version, close the log cleanly.
+		e.closeDurable()
+	}
 }
 
 // loop is the single-writer ingest loop: take one batch (blocking), drain
@@ -362,10 +448,18 @@ type run[E any] struct {
 	owned bool // edges is engine-allocated (safe to append to)
 }
 
-// commit folds the batch into same-kind runs, applies them in order to the
-// latest snapshot, publishes one new version, then acknowledges every
-// batch with the commit stamp.
+// commit folds the batch into same-kind runs, logs them to the WAL (when
+// durability is attached), applies them in order to the latest snapshot,
+// publishes one new version, then acknowledges every batch with the commit
+// stamp. Durability failures are fail-stop: the batch (and every later one)
+// is nacked — its done channel closes without a stamp — and nothing further
+// is applied, so an acknowledged batch is always both applied and logged
+// (and fsynced, under the per-commit policy).
 func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
+	if e.dur != nil && e.dur.failed.Load() {
+		nack(batch)
+		return
+	}
 	stamp := e.reg.Current()
 	if totalEdges > 0 {
 		var runs []run[E]
@@ -386,6 +480,13 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 			}
 			runs = append(runs, run[E]{del: b.del, edges: b.edges})
 		}
+		if e.dur != nil {
+			if err := e.dur.logRuns(runs); err != nil {
+				e.dur.fail(err)
+				nack(batch)
+				return
+			}
+		}
 		var committed G
 		stamp = e.reg.Update(func(g G) G {
 			for _, r := range runs {
@@ -399,6 +500,9 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 			return g
 		})
 		e.commits.Add(1)
+		if e.dur != nil {
+			e.maybeCheckpoint(committed, stamp)
+		}
 		if e.opts.PrebuildFlat {
 			// Build-on-commit: the ingest goroutine still holds the freshly
 			// published version current, so the stamp cannot retire under us.
@@ -420,6 +524,17 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 	for _, b := range batch {
 		if b.done != nil {
 			b.done <- stamp
+			close(b.done)
+		}
+	}
+}
+
+// nack closes every waiter's done channel without sending a stamp, so
+// Pending.Wait returns 0 — unambiguous, since real commit stamps start
+// at 1. The fail-stop path after a durability error.
+func nack[E any](batch []pending[E]) {
+	for _, b := range batch {
+		if b.done != nil {
 			close(b.done)
 		}
 	}
@@ -451,6 +566,15 @@ type Stats struct {
 	FlatCached int    `json:"flat_cached"`
 	// Commit digests the enqueue-to-visible latency of committed batches.
 	Commit LatencySummary `json:"commit"`
+	// Durable reports whether the engine has a durable commit path; the
+	// remaining fields are zero without one. WAL mirrors the log's
+	// counters; Checkpoints / CheckpointSeq account the background
+	// checkpointer (CheckpointSeq is the last WAL sequence number covered
+	// by a persisted checkpoint).
+	Durable       bool      `json:"durable,omitempty"`
+	WAL           wal.Stats `json:"wal,omitzero"`
+	Checkpoints   uint64    `json:"checkpoints,omitempty"`
+	CheckpointSeq uint64    `json:"checkpoint_seq,omitempty"`
 }
 
 // CoalesceFactor is committed batches per published version.
@@ -464,7 +588,7 @@ func (s Stats) CoalesceFactor() float64 {
 // Stats returns the engine's counters. Safe to call concurrently with
 // everything else.
 func (e *Engine[G, E]) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Stamp:           e.reg.Current(),
 		Commits:         e.commits.Load(),
 		Batches:         e.batches.Load(),
@@ -477,4 +601,11 @@ func (e *Engine[G, E]) Stats() Stats {
 		FlatCached:      e.flat.size(),
 		Commit:          e.commitHist.Summary(),
 	}
+	if e.dur != nil {
+		s.Durable = true
+		s.WAL = e.dur.log.Stats()
+		s.Checkpoints = e.dur.checkpoints.Load()
+		s.CheckpointSeq = e.dur.ckptSeq.Load()
+	}
+	return s
 }

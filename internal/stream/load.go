@@ -46,6 +46,10 @@ type Workload[G ligra.Graph, E any] struct {
 	// UseFlat routes kernels that define RunFlat through the per-version
 	// cached flat view; kernels without RunFlat keep the tree snapshot.
 	UseFlat bool
+	// Stop, when non-nil, ends the run early once closed (graceful
+	// shutdown): the writer stops submitting, everything already submitted
+	// is flushed, and readers drain as usual.
+	Stop <-chan struct{}
 }
 
 // UpdateSchedule returns the §7.8 writer schedule shared by cmd/stream
@@ -129,6 +133,10 @@ type DriveSpec struct {
 	Flush    func()
 	Duration time.Duration
 	Interval time.Duration
+	// Stop, when non-nil, ends the loop early once closed: the writer
+	// stops submitting (mid-sleep pacing waits are interrupted), Flush
+	// still runs, and readers join as usual.
+	Stop <-chan struct{}
 }
 
 // DriveStats is what the loop itself measures: wall time and query
@@ -172,19 +180,52 @@ func Drive(s DriveSpec) DriveStats {
 		}(r)
 	}
 
+	// sleep waits for d unless Stop closes first; reports whether the loop
+	// should keep going.
+	sleep := func(d time.Duration) bool {
+		if s.Stop == nil {
+			time.Sleep(d)
+			return true
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-s.Stop:
+			return false
+		case <-t.C:
+			return true
+		}
+	}
+	stopped := func() bool {
+		if s.Stop == nil {
+			return false
+		}
+		select {
+		case <-s.Stop:
+			return true
+		default:
+			return false
+		}
+	}
+
 	// Writer: pipeline batches through the bounded queue(s) until the
 	// deadline, then flush so every submitted batch is committed.
 	start := time.Now()
 	deadline := start.Add(s.Duration)
 	if s.Submit == nil {
-		time.Sleep(s.Duration)
+		sleep(s.Duration)
 	}
 	for i := uint64(0); s.Submit != nil && time.Now().Before(deadline); i++ {
+		if stopped() {
+			break
+		}
 		if s.Interval > 0 {
 			// Absolute schedule: batch i is due at start + i*Interval, so
 			// a slow commit doesn't shift the whole offered load.
 			if due := start.Add(time.Duration(i) * s.Interval); time.Until(due) > 0 {
-				time.Sleep(time.Until(due))
+				if !sleep(time.Until(due)) {
+					break
+				}
 			}
 		}
 		if s.Submit(i) != nil {
@@ -230,6 +271,7 @@ func (w *Workload[G, E]) Run() Report {
 		Flush:    func() { stamp, _ = w.Engine.Flush() },
 		Duration: w.Duration,
 		Interval: w.Interval,
+		Stop:     w.Stop,
 	}
 	if w.NextBatch != nil {
 		spec.Submit = func(i uint64) error {
