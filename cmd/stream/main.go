@@ -60,6 +60,9 @@ func main() {
 		isolate  = flag.Bool("isolate", true, "also run update-only and query-only baselines")
 		flat     = flag.Bool("flat", true, "run kernels on the per-version cached flat view (§5.1)")
 		prebuild = flag.Bool("prebuild-flat", false, "build each version's flat view on commit instead of lazily on first query")
+		patch    = flag.Bool("patch-flat", false, "derive each version's flat view from its predecessor's by O(batch) copy-on-write patching instead of O(n) rebuilds")
+		incCC    = flag.Bool("inc-cc", false, "maintain incremental connectivity on the commit path and query it as an extra kernel (single-engine runs)")
+		delmix   = flag.Uint64("delmix", 10, "delete-batch period of the writer schedule: one delete every N batches (10 = the classic 9:1 mix, 2 = delete-heavy expiry)")
 		interval = flag.Duration("interval", 0, "pace the writer to one batch per interval (0 = saturate)")
 		shards   = flag.String("shards", "", "comma list of shard counts: run the PR-5 sharded-ingest sweep instead of the single-engine sweep (1 = plain engine baseline)")
 		partKind = flag.String("partition", "range", "shard partitioner: range or hash")
@@ -127,18 +130,22 @@ func main() {
 		fatal("-scale must be in [1, 31] (vertex ids are uint32)")
 	}
 
+	if *delmix == 1 {
+		fatal("-delmix must be 0 (inserts only) or ≥ 2")
+	}
 	cfg := config{
 		Scale: *scale, InitEdges: *initE, Batch: *batch, Weighted: *weighted,
 		Algos: *algoList, QueueCap: *queueCap, MaxCoalesce: *coalesce,
-		Flat: *flat, PrebuildFlat: *prebuild, Priority: *priority,
+		Flat: *flat, PrebuildFlat: *prebuild, PatchFlat: *patch,
+		IncCC: *incCC, DelPeriod: *delmix, Priority: *priority,
 		Partition:  *partKind,
 		DurationNS: duration.Nanoseconds(), IntervalNS: interval.Nanoseconds(),
 		Seed: *seed, Procs: runtime.GOMAXPROCS(0),
 		Data: *dataDir, Fsync: *fsyncPol,
 		FsyncIntervalNS: fsyncInt.Nanoseconds(), CkptEvery: *ckptEv,
 	}
-	fmt.Printf("stream: scale=%d init=%d batch=%d weighted=%v algos=%s flat=%v procs=%d\n",
-		*scale, *initE, *batch, *weighted, *algoList, *flat, cfg.Procs)
+	fmt.Printf("stream: scale=%d init=%d batch=%d weighted=%v algos=%s flat=%v patch=%v inc-cc=%v delmix=%d procs=%d\n",
+		*scale, *initE, *batch, *weighted, *algoList, *flat, *patch, *incCC, *delmix, cfg.Procs)
 
 	// Graceful shutdown: SIGINT/SIGTERM stops the in-flight run early (the
 	// writer quits, submitted batches flush, readers drain) and skips the
@@ -166,7 +173,7 @@ func main() {
 
 	var runs []runResult
 	addRun := func(rr runResult) {
-		printRun(rr.Name, rr.Report)
+		printRun(rr)
 		runs = append(runs, rr)
 	}
 	interrupted := func() bool {
@@ -207,6 +214,9 @@ type config struct {
 	MaxCoalesce  int    `json:"max_coalesce"`
 	Flat         bool   `json:"flat"`
 	PrebuildFlat bool   `json:"prebuild_flat"`
+	PatchFlat    bool   `json:"patch_flat"`
+	IncCC        bool   `json:"inc_cc"`
+	DelPeriod    uint64 `json:"del_period"`
 	Priority     int    `json:"priority_edges"`
 	Partition    string `json:"partition"`
 	DurationNS   int64  `json:"duration_ns"`
@@ -233,6 +243,9 @@ func (cfg config) durability() stream.Durability {
 type runResult struct {
 	Name   string        `json:"name"`
 	Report stream.Report `json:"report"`
+	// IncCC carries the incremental-connectivity maintenance counters when
+	// the run kept a standing algos.IncrementalCC on the commit path.
+	IncCC *algos.IncrementalCCStats `json:"inc_cc,omitempty"`
 }
 
 // weightOf derives a deterministic non-negative weight for stream edge i.
@@ -296,8 +309,9 @@ func closeEngine[G ligra.Graph, E any](e *stream.Engine[G, E]) {
 func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bool, stop <-chan struct{}) runResult {
 	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
 	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce,
-		PrebuildFlat: cfg.PrebuildFlat, PriorityEdges: cfg.Priority}
+		PrebuildFlat: cfg.PrebuildFlat, PatchFlat: cfg.PatchFlat, PriorityEdges: cfg.Priority}
 	var rep stream.Report
+	var ccq *algos.IncrementalCC
 	if cfg.Weighted {
 		var e *stream.Engine[aspen.WeightedGraph, aspen.WeightedEdge]
 		if cfg.Data != "" {
@@ -311,17 +325,23 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 			g := aspen.NewWeightedGraph().InsertEdges(weightedBatch(gen, 0, cfg.InitEdges))
 			e = stream.NewWeightedEngine(g, opts)
 		}
+		if cfg.IncCC {
+			// Attached after the preload flush (ingest is quiescent here):
+			// the bootstrap covers the initial graph, the commit hook
+			// everything after.
+			ccq = stream.AttachWeightedIncrementalCC(e)
+		}
 		w := stream.Workload[aspen.WeightedGraph, aspen.WeightedEdge]{
 			Engine:   e,
 			Readers:  readers,
-			Kernels:  weightedKernels(cfg),
+			Kernels:  weightedKernels(cfg, ccq),
 			Duration: d,
 			Interval: time.Duration(cfg.IntervalNS),
 			UseFlat:  cfg.Flat,
 			Stop:     stop,
 		}
 		if withWriter {
-			w.NextBatch = stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
+			w.NextBatch = stream.UpdateScheduleMix(cfg.InitEdges, cfg.Batch, cfg.DelPeriod,
 				func(lo, hi uint64) []aspen.WeightedEdge { return weightedBatch(gen, lo, hi) })
 		}
 		rep = w.Run()
@@ -339,23 +359,31 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 			g := aspen.NewGraph(ctree.DefaultParams()).InsertEdges(aspen.MakeUndirected(gen.Edges(0, cfg.InitEdges)))
 			e = stream.NewGraphEngine(g, opts)
 		}
+		if cfg.IncCC {
+			ccq = stream.AttachGraphIncrementalCC(e)
+		}
 		w := stream.Workload[aspen.Graph, aspen.Edge]{
 			Engine:   e,
 			Readers:  readers,
-			Kernels:  unweightedKernels(cfg),
+			Kernels:  unweightedKernels(cfg, ccq),
 			Duration: d,
 			Interval: time.Duration(cfg.IntervalNS),
 			UseFlat:  cfg.Flat,
 			Stop:     stop,
 		}
 		if withWriter {
-			w.NextBatch = stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
+			w.NextBatch = stream.UpdateScheduleMix(cfg.InitEdges, cfg.Batch, cfg.DelPeriod,
 				func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) })
 		}
 		rep = w.Run()
 		closeEngine(e)
 	}
-	return runResult{Name: name, Report: rep}
+	rr := runResult{Name: name, Report: rep}
+	if ccq != nil {
+		st := ccq.Stats()
+		rr.IncCC = &st
+	}
+	return rr
 }
 
 // srcCycler varies kernel sources deterministically across calls; shared
@@ -367,7 +395,7 @@ func srcCycler(n uint32) func() uint32 {
 	}
 }
 
-func unweightedKernels(cfg config) []stream.Kernel[aspen.Graph] {
+func unweightedKernels(cfg config, ccq *algos.IncrementalCC) []stream.Kernel[aspen.Graph] {
 	n := uint32(1) << cfg.Scale
 	var ks []stream.Kernel[aspen.Graph]
 	for _, a := range strings.Split(cfg.Algos, ",") {
@@ -387,10 +415,18 @@ func unweightedKernels(cfg config) []stream.Kernel[aspen.Graph] {
 			fatal("unknown algo %q", a)
 		}
 	}
+	if ccq != nil {
+		// The standing structure answers from its arrays — no kernel run,
+		// no transaction snapshot needed; its latency row is the point.
+		src := srcCycler(n)
+		ks = append(ks, stream.Kernel[aspen.Graph]{Name: "inccc",
+			Run:     func(aspen.Graph) { ccq.Component(src()) },
+			RunFlat: func(ligra.Graph) { ccq.Component(src()) }})
+	}
 	return ks
 }
 
-func weightedKernels(cfg config) []stream.Kernel[aspen.WeightedGraph] {
+func weightedKernels(cfg config, ccq *algos.IncrementalCC) []stream.Kernel[aspen.WeightedGraph] {
 	n := uint32(1) << cfg.Scale
 	var ks []stream.Kernel[aspen.WeightedGraph]
 	for _, a := range strings.Split(cfg.Algos, ",") {
@@ -412,6 +448,12 @@ func weightedKernels(cfg config) []stream.Kernel[aspen.WeightedGraph] {
 		default:
 			fatal("unknown algo %q", a)
 		}
+	}
+	if ccq != nil {
+		src := srcCycler(n)
+		ks = append(ks, stream.Kernel[aspen.WeightedGraph]{Name: "inccc",
+			Run:     func(aspen.WeightedGraph) { ccq.Component(src()) },
+			RunFlat: func(ligra.Graph) { ccq.Component(src()) }})
 	}
 	return ks
 }
@@ -505,7 +547,7 @@ func oneShardRun(cfg config, s, readers int, d, pace time.Duration, stop <-chan 
 	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
 	part := shardPartitioner(cfg, s)
 	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce,
-		PrebuildFlat: cfg.PrebuildFlat, PriorityEdges: cfg.Priority}
+		PrebuildFlat: cfg.PrebuildFlat, PatchFlat: cfg.PatchFlat, PriorityEdges: cfg.Priority}
 	if cfg.Weighted {
 		// Initial load outside the serving path (NewWeightedClusterFrom),
 		// matching how the single-engine baseline preloads before engine
@@ -514,7 +556,7 @@ func oneShardRun(cfg config, s, readers int, d, pace time.Duration, stop <-chan 
 		w := shard.Workload[aspen.WeightedGraph, aspen.WeightedEdge]{
 			Cluster: c, Readers: readers, Kernels: shardKernels(cfg),
 			Duration: d, Interval: pace, UseFlat: cfg.Flat, Stop: stop,
-			NextBatch: stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
+			NextBatch: stream.UpdateScheduleMix(cfg.InitEdges, cfg.Batch, cfg.DelPeriod,
 				func(lo, hi uint64) []aspen.WeightedEdge { return weightedBatch(gen, lo, hi) }),
 		}
 		rep := w.Run()
@@ -526,7 +568,7 @@ func oneShardRun(cfg config, s, readers int, d, pace time.Duration, stop <-chan 
 	w := shard.Workload[aspen.Graph, aspen.Edge]{
 		Cluster: c, Readers: readers, Kernels: shardKernels(cfg),
 		Duration: d, Interval: pace, UseFlat: cfg.Flat, Stop: stop,
-		NextBatch: stream.UpdateSchedule(cfg.InitEdges, cfg.Batch,
+		NextBatch: stream.UpdateScheduleMix(cfg.InitEdges, cfg.Batch, cfg.DelPeriod,
 			func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) }),
 	}
 	rep := w.Run()
@@ -550,7 +592,7 @@ func oneShardRunSingle(cfg config, readers int, d, pace time.Duration, stop <-ch
 		PerKernel:    r.PerKernel,
 		LiveVersions: r.LiveVersions, RetiredVersions: r.RetiredVersions,
 		FinalStamps: []uint64{r.FinalStamp},
-		FlatBuilds:  r.FlatBuilds, FlatHits: r.FlatHits,
+		FlatBuilds:  r.FlatBuilds, FlatPatches: r.FlatPatches, FlatHits: r.FlatHits,
 	}
 }
 
@@ -572,9 +614,9 @@ func printShardRun(name string, r shard.Report, base float64) {
 			r.Query.P50, r.Query.P95, r.Query.P99, r.Query.Max)
 	}
 	fmt.Printf("versions: stamps %v, %d retired, %d live\n", r.FinalStamps, r.RetiredVersions, r.LiveVersions)
-	if r.StitchBuilds+r.StitchHits > 0 {
-		fmt.Printf("stitched flat: %d builds, %d hits; per-shard flat: %d builds, %d hits\n",
-			r.StitchBuilds, r.StitchHits, r.FlatBuilds, r.FlatHits)
+	if r.StitchBuilds+r.StitchPatches+r.StitchHits > 0 {
+		fmt.Printf("stitched flat: %d builds, %d delta stitches, %d hits; per-shard flat: %d builds, %d patches, %d hits\n",
+			r.StitchBuilds, r.StitchPatches, r.StitchHits, r.FlatBuilds, r.FlatPatches, r.FlatHits)
 	}
 }
 
@@ -628,7 +670,8 @@ type shardDoc struct {
 	Runs   []shardRunResult `json:"runs"`
 }
 
-func printRun(name string, r stream.Report) {
+func printRun(rr runResult) {
+	name, r := rr.Name, rr.Report
 	fmt.Printf("\n== %s ==\n", name)
 	if r.Updates > 0 {
 		fmt.Printf("updates: %.3g edges/sec (%d edges, %d batches, %d commits, coalesce %.2f)\n",
@@ -647,9 +690,14 @@ func printRun(name string, r stream.Report) {
 	}
 	fmt.Printf("versions: %d published, %d retired+released, %d live\n",
 		r.FinalStamp, r.RetiredVersions, r.LiveVersions)
-	if r.FlatBuilds+r.FlatHits > 0 {
-		fmt.Printf("flat cache: %d builds, %d hits (%.1f queries per build)\n",
-			r.FlatBuilds, r.FlatHits, float64(r.FlatBuilds+r.FlatHits)/float64(max(r.FlatBuilds, 1)))
+	if r.FlatBuilds+r.FlatPatches+r.FlatHits > 0 {
+		fmt.Printf("flat cache: %d builds, %d patches, %d hits (%.1f queries per materialization)\n",
+			r.FlatBuilds, r.FlatPatches, r.FlatHits,
+			float64(r.FlatBuilds+r.FlatPatches+r.FlatHits)/float64(max(r.FlatBuilds+r.FlatPatches, 1)))
+	}
+	if rr.IncCC != nil {
+		fmt.Printf("inc-cc: %d unions, %d delete recomputes, %d vertices reverified\n",
+			rr.IncCC.Unions, rr.IncCC.Recomputes, rr.IncCC.Reverified)
 	}
 }
 

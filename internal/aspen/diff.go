@@ -1,0 +1,64 @@
+package aspen
+
+import (
+	"repro/internal/ctree"
+)
+
+// DiffKind classifies a vertex (or edge) change between two versions; the
+// kinds are ctree's, which are pftree's underneath.
+type DiffKind = ctree.DiffKind
+
+// Re-exported kinds for aspen-level callers.
+const (
+	DiffAdded   = ctree.DiffAdded
+	DiffRemoved = ctree.DiffRemoved
+	DiffChanged = ctree.DiffChanged
+)
+
+// VertexDelta describes how one vertex's adjacency changed between two
+// versions: the vertex appeared (DiffAdded, Old is the zero tree),
+// disappeared (DiffRemoved, New is the zero tree), or kept its slot while
+// its edge tree changed (DiffChanged). Both trees are immutable snapshots;
+// Edges refines the delta to individual edge updates on demand.
+type VertexDelta[V ctree.Value] struct {
+	ID   uint32
+	Kind DiffKind
+	Old  ctree.Tree[V]
+	New  ctree.Tree[V]
+}
+
+// Edges emits this vertex's per-edge delta — every neighbor added, removed
+// or (for weighted graphs) re-weighted — in ascending neighbor order, via
+// ctree.Diff. O(d·b + log deg) for d changed edges.
+func (d VertexDelta[V]) Edges(emit func(e uint32, kind ctree.DiffKind, oldV, newV V) bool) bool {
+	return ctree.Diff(d.Old, d.New, emit)
+}
+
+// diffVersionsCore walks two vertex trees, pruning pointer-shared subtrees
+// and, at matching vertices, comparing edge trees by representation
+// (EqualRep) — O(1) per untouched vertex, so the walk costs O(d log(n/d+1))
+// for d touched vertices between versions of one lineage.
+func diffVersionsCore[V ctree.Value](ops *vopsT[V], old, cur *vnode[V], f func(VertexDelta[V]) bool) bool {
+	return ops.Diff(old, cur,
+		func(a, b ctree.Tree[V]) bool { return a.EqualRep(b) },
+		func(u uint32, kind DiffKind, ot, nt ctree.Tree[V]) bool {
+			return f(VertexDelta[V]{ID: u, Kind: kind, Old: ot, New: nt})
+		})
+}
+
+// DiffVersions applies f to every vertex whose adjacency differs between
+// two versions of an unweighted graph, in ascending vertex order; f may
+// return false to stop, and DiffVersions reports whether the walk ran to
+// completion. Because versions of one lineage share structure, the cost is
+// proportional to the number of touched vertices (plus a logarithmic
+// alignment term), not the graph size — the primitive behind flat-view
+// patching and incremental kernel maintenance.
+func DiffVersions(old, cur Graph, f func(VertexDelta[struct{}]) bool) bool {
+	return diffVersionsCore(vops, old.vt, cur.vt, f)
+}
+
+// DiffVersionsWeighted is the weighted analogue of DiffVersions; weight
+// updates on an existing edge surface as DiffChanged at both levels.
+func DiffVersionsWeighted(old, cur WeightedGraph, f func(VertexDelta[float32]) bool) bool {
+	return diffVersionsCore(wvops, old.vt, cur.vt, f)
+}

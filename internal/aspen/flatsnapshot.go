@@ -5,6 +5,29 @@ import (
 	"repro/internal/parallel"
 )
 
+// Flat-view slot storage is paged so that patching a new version's view out
+// of its predecessor's can copy-on-write only the pages the version diff
+// touches: flatPageSize vertices per page, pages untouched by a batch are
+// aliased between chained views. The batch's touched vertices are scattered
+// (graph updates have no id locality), so a patch copies roughly one page
+// per touched vertex no matter the page size — which makes small pages
+// win: 16 slots keeps the per-touched-vertex copy under a cache line's
+// worth of tree handles, while the page table that every patch must copy
+// stays at 1/16th of a slot-per-id table. (One backing allocation still
+// serves a full build, so build cost is unaffected.)
+const (
+	flatPageBits = 4
+	flatPageSize = 1 << flatPageBits
+	flatPageMask = flatPageSize - 1
+)
+
+// flatPage holds the per-vertex edge-tree handles and presence bits of one
+// aligned id range [p<<flatPageBits, (p+1)<<flatPageBits).
+type flatPage[V ctree.Value] struct {
+	trees   [flatPageSize]ctree.Tree[V]
+	present [flatPageSize]bool
+}
+
 // FlatView is a dense, id-indexed view of one immutable graph version: one
 // edge C-tree handle per vertex id plus its degree. It removes the O(log n)
 // vertex-tree lookup from every edgeMap access — the §5.1 flat-snapshot
@@ -16,13 +39,23 @@ import (
 // are purely functional: InsertEdges/DeleteEdges return NEW graphs and
 // never disturb the one the view indexes, so the view can never be
 // "invalidated" — but it also never sees later updates. Build a new view
-// per version (or let stream.Tx.Flat cache one per version); Current
-// reports whether a view still matches a given snapshot. Degree and
+// per version (or let stream.Tx.Flat cache one per version), or derive it
+// from the previous version's view with PatchFlatSnapshot in O(batch);
+// Current reports whether a view still matches a given snapshot. Degree and
 // ForEachNeighbor are total: ids outside the id space (or absent vertices)
 // yield degree 0 and an empty neighbor iteration rather than a panic.
+//
+// Slot storage (tree handles + presence) is paged; a patched view aliases
+// every page the version diff did not touch, copying only the rest
+// (owned tracks which is which, for MemoryBytes). The degree array stays
+// one contiguous id-indexed slice — ligra's flat routing consumes it for
+// work-based frontier partitioning — and is copied per view, a pure memmove
+// that is two orders of magnitude cheaper than rebuilding it from tree
+// traversals. Views are immutable once returned, so chained views can
+// share pages freely across any number of concurrent readers.
 type FlatView[V ctree.Value] struct {
-	trees    []ctree.Tree[V]
-	present  []bool
+	pages    []*flatPage[V]
+	owned    []bool // owned[p]: pages[p] was allocated by this view, not aliased
 	degrees  []int32
 	order    int
 	numEdges uint64
@@ -43,24 +76,38 @@ type FlatWeightedSnapshot struct {
 	FlatView[float32]
 }
 
+// flatPageCount returns the number of pages covering an id space of size
+// order.
+func flatPageCount(order int) int {
+	return (order + flatPageSize - 1) >> flatPageBits
+}
+
 // buildFlatView materializes the dense view with an indexed parallel
 // vertex-tree traversal: the tree's in-order ranks are partitioned into
 // per-worker ranges and each worker walks its range with one rank-pruned
 // descent (pftree.ForEachRankRange) — O(n) work, O(n/P + log n) depth, as
 // §5.1 specifies. Safe to run concurrently with updates: it only reads the
-// persistent version.
+// persistent version. All pages come from one backing allocation and are
+// owned by the view.
 func buildFlatView[V ctree.Value](ops *vopsT[V], vt *vnode[V], order int, numEdges uint64) FlatView[V] {
+	np := flatPageCount(order)
+	backing := make([]flatPage[V], np)
 	fv := FlatView[V]{
-		trees:    make([]ctree.Tree[V], order),
-		present:  make([]bool, order),
+		pages:    make([]*flatPage[V], np),
+		owned:    make([]bool, np),
 		degrees:  make([]int32, order),
 		order:    order,
 		numEdges: numEdges,
 		root:     vt,
 	}
+	for i := range fv.pages {
+		fv.pages[i] = &backing[i]
+		fv.owned[i] = true
+	}
 	fill := func(u uint32, et ctree.Tree[V]) bool {
-		fv.trees[u] = et
-		fv.present[u] = true
+		pg := fv.pages[u>>flatPageBits]
+		pg.trees[u&flatPageMask] = et
+		pg.present[u&flatPageMask] = true
 		fv.degrees[u] = int32(et.Size())
 		return true
 	}
@@ -86,6 +133,63 @@ func buildFlatView[V ctree.Value](ops *vopsT[V], vt *vnode[V], order int, numEdg
 	return fv
 }
 
+// patchFlatView derives the flat view of the version rooted at vt from the
+// previous version's view, paying O(diff) instead of O(n) tree work: the
+// vertex-tree diff (pruned by pointer sharing) enumerates exactly the
+// touched vertices, each touched page is copied once (copy-on-write) and
+// every other page is aliased from prev. The degree array is copied
+// wholesale (a memmove) and patched per touched vertex, keeping it
+// contiguous for ligra's flat routing. prev is never mutated — it and the
+// result serve concurrent readers of their respective versions.
+func patchFlatView[V ctree.Value](ops *vopsT[V], prev *FlatView[V], vt *vnode[V], order int, numEdges uint64) FlatView[V] {
+	np := flatPageCount(order)
+	fv := FlatView[V]{
+		pages:    make([]*flatPage[V], np),
+		owned:    make([]bool, np),
+		degrees:  make([]int32, order),
+		order:    order,
+		numEdges: numEdges,
+		root:     vt,
+	}
+	copy(fv.pages, prev.pages) // aliased until touched; nil beyond prev's space
+	copy(fv.degrees, prev.degrees)
+	// Copied pages come from slab allocations: a batch touches its pages in
+	// ascending id order, so grabbing pages off a chunk keeps the patch at a
+	// handful of allocations instead of one per touched page.
+	var slab []flatPage[V]
+	diffVersionsCore(ops, prev.root, vt, func(d VertexDelta[V]) bool {
+		u := d.ID
+		if int(u) >= order {
+			// A vertex removed beyond the (shrunk) id space has no slot to
+			// clear; stale slots in aliased pages past order are never read
+			// (every accessor bounds-checks against order first).
+			return true
+		}
+		pi := int(u) >> flatPageBits
+		if !fv.owned[pi] {
+			if len(slab) == 0 {
+				slab = make([]flatPage[V], 256)
+			}
+			pg := &slab[0]
+			slab = slab[1:]
+			if shared := fv.pages[pi]; shared != nil {
+				*pg = *shared
+			}
+			fv.pages[pi], fv.owned[pi] = pg, true
+		}
+		pg, s := fv.pages[pi], u&flatPageMask
+		if d.Kind == DiffRemoved {
+			pg.trees[s], pg.present[s] = ctree.Tree[V]{}, false
+			fv.degrees[u] = 0
+		} else {
+			pg.trees[s], pg.present[s] = d.New, true
+			fv.degrees[u] = int32(d.New.Size())
+		}
+		return true
+	})
+	return fv
+}
+
 // BuildFlatSnapshot materializes the flat view of g.
 func BuildFlatSnapshot(g Graph) *FlatSnapshot {
 	return &FlatSnapshot{buildFlatView(vops, g.vt, g.Order(), g.NumEdges())}
@@ -94,6 +198,33 @@ func BuildFlatSnapshot(g Graph) *FlatSnapshot {
 // BuildFlatWeightedSnapshot materializes the flat view of the weighted g.
 func BuildFlatWeightedSnapshot(g WeightedGraph) *FlatWeightedSnapshot {
 	return &FlatWeightedSnapshot{buildFlatView(wvops, g.vt, g.Order(), g.NumEdges())}
+}
+
+// PatchFlatSnapshot returns the flat view of g derived from prev, a view of
+// an earlier (or later — the diff is two-sided) version of the same graph
+// lineage, in O(batch) copy-on-write work instead of an O(n) rebuild. A nil
+// prev falls back to a full build; a prev already current for g is returned
+// as-is. The result is equivalent to BuildFlatSnapshot(g) in every
+// observable way.
+func PatchFlatSnapshot(prev *FlatSnapshot, g Graph) *FlatSnapshot {
+	if prev == nil {
+		return BuildFlatSnapshot(g)
+	}
+	if prev.root == g.vt {
+		return prev
+	}
+	return &FlatSnapshot{patchFlatView(vops, &prev.FlatView, g.vt, g.Order(), g.NumEdges())}
+}
+
+// PatchFlatWeightedSnapshot is the weighted analogue of PatchFlatSnapshot.
+func PatchFlatWeightedSnapshot(prev *FlatWeightedSnapshot, g WeightedGraph) *FlatWeightedSnapshot {
+	if prev == nil {
+		return BuildFlatWeightedSnapshot(g)
+	}
+	if prev.root == g.vt {
+		return prev
+	}
+	return &FlatWeightedSnapshot{patchFlatView(wvops, &prev.FlatView, g.vt, g.Order(), g.NumEdges())}
 }
 
 // Order returns the vertex-id space size.
@@ -116,51 +247,96 @@ func (fv *FlatView[V]) Degree(u uint32) int {
 // for exact work-based partitioning.
 func (fv *FlatView[V]) Degrees() []int32 { return fv.degrees }
 
+// page returns u's slot page and index; the nil page means an id range no
+// version ever populated.
+func (fv *FlatView[V]) page(u uint32) (*flatPage[V], uint32) {
+	return fv.pages[u>>flatPageBits], u & flatPageMask
+}
+
 // HasVertex reports whether u is a vertex of the underlying version.
 func (fv *FlatView[V]) HasVertex(u uint32) bool {
-	return int(u) < fv.order && fv.present[u]
+	if int(u) >= fv.order {
+		return false
+	}
+	pg, s := fv.page(u)
+	return pg != nil && pg.present[s]
 }
 
 // ForEachNeighbor applies f to u's neighbors in increasing order until f
 // returns false. O(1) access to the edge tree; total on out-of-range ids.
 func (fv *FlatView[V]) ForEachNeighbor(u uint32, f func(v uint32) bool) {
-	if int(u) >= fv.order || !fv.present[u] {
+	if int(u) >= fv.order {
 		return
 	}
-	fv.trees[u].ForEach(f)
+	if pg, s := fv.page(u); pg != nil && pg.present[s] {
+		pg.trees[s].ForEach(f)
+	}
 }
 
 // ForEachNeighborPar applies f to u's neighbors with edge-tree parallelism
 // (unordered).
 func (fv *FlatView[V]) ForEachNeighborPar(u uint32, f func(v uint32)) {
-	if int(u) >= fv.order || !fv.present[u] {
+	if int(u) >= fv.order {
 		return
 	}
-	fv.trees[u].ForEachPar(f)
+	if pg, s := fv.page(u); pg != nil && pg.present[s] {
+		pg.trees[s].ForEachPar(f)
+	}
 }
 
 // ForEachNeighborKV applies f to u's (neighbor, payload) pairs in increasing
 // neighbor order until f returns false.
 func (fv *FlatView[V]) ForEachNeighborKV(u uint32, f func(v uint32, val V) bool) {
-	if int(u) >= fv.order || !fv.present[u] {
+	if int(u) >= fv.order {
 		return
 	}
-	fv.trees[u].ForEachKV(f)
+	if pg, s := fv.page(u); pg != nil && pg.present[s] {
+		pg.trees[s].ForEachKV(f)
+	}
 }
 
 // EdgeTree returns u's edge tree in O(1).
 func (fv *FlatView[V]) EdgeTree(u uint32) (ctree.Tree[V], bool) {
-	if !fv.HasVertex(u) {
+	if int(u) >= fv.order {
 		return ctree.Tree[V]{}, false
 	}
-	return fv.trees[u], true
+	if pg, s := fv.page(u); pg != nil && pg.present[s] {
+		return pg.trees[s], true
+	}
+	return ctree.Tree[V]{}, false
 }
 
-// MemoryBytes returns the analytic size of the flat view itself: one
-// pointer-sized slot plus one degree word and one presence byte per id (the
-// "Flat Snap." column of Table 2 counts exactly the pointer array).
+// MemoryBytes returns the analytic size of the storage this view uniquely
+// owns, at the Table-2 accounting of one pointer-sized slot plus one
+// presence byte per id and a 4-byte degree word: the page table, the degree
+// array, and every slot page the view allocated itself. Pages aliased from
+// the predecessor (patching copies only the pages a batch touches) are
+// charged to the view that built them and reported here by
+// SharedMemoryBytes, so bytes-per-version stays honest when views chain: a
+// freshly built view owns everything, a patched one owns its degree array
+// plus O(batch/pageSize) pages.
 func (fv *FlatView[V]) MemoryBytes() uint64 {
-	return uint64(fv.order) * (8 + 4 + 1)
+	owned := 0
+	for _, o := range fv.owned {
+		if o {
+			owned++
+		}
+	}
+	return uint64(len(fv.pages))*(8+1) + uint64(len(fv.degrees))*4 +
+		uint64(owned)*flatPageSize*(8+1)
+}
+
+// SharedMemoryBytes returns the analytic size of the slot pages this view
+// aliases from an ancestor view instead of owning (zero for a freshly built
+// view).
+func (fv *FlatView[V]) SharedMemoryBytes() uint64 {
+	shared := 0
+	for i, o := range fv.owned {
+		if !o && fv.pages[i] != nil {
+			shared++
+		}
+	}
+	return uint64(shared) * flatPageSize * (8 + 1)
 }
 
 // sameRoot reports whether the view was built from exactly the given

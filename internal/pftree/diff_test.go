@@ -1,0 +1,125 @@
+package pftree
+
+import (
+	"testing"
+
+	"repro/internal/xhash"
+)
+
+type diffRec struct {
+	k, oldV, newV int
+	kind          DiffKind
+}
+
+// refDiff computes the expected key-level diff from full enumerations.
+func refDiff(old, new Tree[int, int, int]) []diffRec {
+	om, nm := map[int]int{}, map[int]int{}
+	old.ForEach(func(k, v int) bool { om[k] = v; return true })
+	new.ForEach(func(k, v int) bool { nm[k] = v; return true })
+	keys := map[int]bool{}
+	for k := range om {
+		keys[k] = true
+	}
+	for k := range nm {
+		keys[k] = true
+	}
+	var sorted []int
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	var out []diffRec
+	for _, k := range sorted {
+		ov, inOld := om[k]
+		nv, inNew := nm[k]
+		switch {
+		case inOld && !inNew:
+			out = append(out, diffRec{k, ov, 0, DiffRemoved})
+		case !inOld && inNew:
+			out = append(out, diffRec{k, 0, nv, DiffAdded})
+		case ov != nv:
+			out = append(out, diffRec{k, ov, nv, DiffChanged})
+		}
+	}
+	return out
+}
+
+func runDiff(t *testing.T, old, new Tree[int, int, int]) []diffRec {
+	t.Helper()
+	var got []diffRec
+	if !old.Ops().Diff(old.Root(), new.Root(), intEq, func(k int, kind DiffKind, ov, nv int) bool {
+		got = append(got, diffRec{k, ov, nv, kind})
+		return true
+	}) {
+		t.Fatal("Diff stopped early without emit returning false")
+	}
+	return got
+}
+
+func TestDiffAgainstReference(t *testing.T) {
+	r := xhash.NewRNG(11)
+	base := newIntTree()
+	for i := 0; i < 400; i++ {
+		base = base.Insert(r.Intn(2000), r.Intn(100))
+	}
+	versions := []Tree[int, int, int]{base}
+	for step := 0; step < 10; step++ {
+		cur := versions[len(versions)-1]
+		next := cur
+		for k := 0; k < 25; k++ {
+			switch r.Intn(3) {
+			case 0:
+				next = next.Delete(r.Intn(2000))
+			default:
+				next = next.Insert(r.Intn(2000), r.Intn(100))
+			}
+		}
+		versions = append(versions, next)
+	}
+	for i := range versions {
+		for j := range versions {
+			got := runDiff(t, versions[i], versions[j])
+			want := refDiff(versions[i], versions[j])
+			if len(got) != len(want) {
+				t.Fatalf("pair (%d,%d): %d entries, want %d", i, j, len(got), len(want))
+			}
+			for x := range got {
+				if got[x] != want[x] {
+					t.Fatalf("pair (%d,%d) entry %d: got %+v, want %+v", i, j, x, got[x], want[x])
+				}
+			}
+			if i == j && len(got) != 0 {
+				t.Fatalf("self diff emitted %d entries", len(got))
+			}
+		}
+	}
+}
+
+func TestDiffEarlyStop(t *testing.T) {
+	a := newIntTree()
+	for i := 0; i < 50; i++ {
+		a = a.Insert(i, i)
+	}
+	b := newIntTree()
+	n := 0
+	if a.Ops().Diff(a.Root(), b.Root(), intEq, func(int, DiffKind, int, int) bool {
+		n++
+		return n < 10
+	}) {
+		t.Fatal("Diff reported completion despite early stop")
+	}
+	if n != 10 {
+		t.Fatalf("emitted %d, want 10", n)
+	}
+}
+
+func TestDiffKindString(t *testing.T) {
+	if DiffAdded.String() != "added" || DiffRemoved.String() != "removed" ||
+		DiffChanged.String() != "changed" || DiffKind(9).String() != "unknown" {
+		t.Fatal("DiffKind.String mismatch")
+	}
+}

@@ -231,14 +231,17 @@ type Stats struct {
 	// (live is ≥ Shards: each shard's current version is live).
 	LiveVersions    int64  `json:"live_versions"`
 	RetiredVersions uint64 `json:"retired_versions"`
-	// FlatBuilds / FlatHits sum the per-shard §5.1 flat-view caches;
-	// StitchBuilds / StitchHits count cross-shard stitched views (at most
-	// one build per distinct version vector, served from the cluster's
-	// stitch slot otherwise).
-	FlatBuilds   uint64 `json:"flat_builds"`
-	FlatHits     uint64 `json:"flat_hits"`
-	StitchBuilds uint64 `json:"stitch_builds"`
-	StitchHits   uint64 `json:"stitch_hits"`
+	// FlatBuilds / FlatPatches / FlatHits sum the per-shard §5.1 flat-view
+	// caches; StitchBuilds / StitchPatches / StitchHits count cross-shard
+	// stitched views (at most one full build or delta stitch per distinct
+	// version vector, served from the cluster's stitch slot otherwise; a
+	// delta stitch reuses unmoved shards' views verbatim).
+	FlatBuilds    uint64 `json:"flat_builds"`
+	FlatPatches   uint64 `json:"flat_patches,omitempty"`
+	FlatHits      uint64 `json:"flat_hits"`
+	StitchBuilds  uint64 `json:"stitch_builds"`
+	StitchPatches uint64 `json:"stitch_patches,omitempty"`
+	StitchHits    uint64 `json:"stitch_hits"`
 	// PerShard carries each engine's full counter set, in shard order.
 	PerShard []stream.Stats `json:"per_shard"`
 }
@@ -247,10 +250,11 @@ type Stats struct {
 // with everything else.
 func (c *Cluster[G, E]) Stats() Stats {
 	st := Stats{
-		Shards:       len(c.engines),
-		StitchBuilds: c.stitch.builds.Load(),
-		StitchHits:   c.stitch.hits.Load(),
-		PerShard:     make([]stream.Stats, len(c.engines)),
+		Shards:        len(c.engines),
+		StitchBuilds:  c.stitch.builds.Load(),
+		StitchPatches: c.stitch.patches.Load(),
+		StitchHits:    c.stitch.hits.Load(),
+		PerShard:      make([]stream.Stats, len(c.engines)),
 	}
 	for s, e := range c.engines {
 		es := e.Stats()
@@ -262,6 +266,7 @@ func (c *Cluster[G, E]) Stats() Stats {
 		st.LiveVersions += es.LiveVersions
 		st.RetiredVersions += es.RetiredVersions
 		st.FlatBuilds += es.FlatBuilds
+		st.FlatPatches += es.FlatPatches
 		st.FlatHits += es.FlatHits
 	}
 	return st

@@ -110,16 +110,29 @@ func (t *Tx[G, E]) Flat() ligra.Graph {
 		t.flat = f
 		return f
 	}
-	// Slot miss: gather the per-shard views (cache hits inside each engine
-	// unless this vector component is fresh) and stitch. Concurrent
-	// first-stitchers of the same vector may duplicate this O(n) work; the
-	// slot keeps the last result, and correctness never depends on which
-	// copy a reader holds.
+	// Slot miss. When the slot holds a stitched view of an earlier vector,
+	// delta-stitch off it: shards whose component didn't move keep their
+	// per-shard views verbatim (no engine round-trip, pointer-identical),
+	// only moved shards fetch fresh views and refill their degree ranges.
+	// Concurrent first-stitchers of the same vector may duplicate this
+	// work; the slot keeps the last result, and correctness never depends
+	// on which copy a reader holds.
+	if base, baseStamps := t.c.stitch.base(len(t.stamps)); base != nil {
+		if f := deltaStitch(t.c.part, base, baseStamps, t.stamps, func(s int) ligra.Graph { return t.txs[s].Flat() }); f != nil {
+			t.c.stitch.patches.Add(1)
+			t.c.stitch.store(t.stamps, f)
+			t.flat = f
+			return f
+		}
+	}
+	// No usable base: gather every per-shard view (cache hits inside each
+	// engine unless this vector component is fresh) and stitch in full.
 	views := make([]ligra.Graph, len(t.txs))
 	for i := range t.txs {
 		views[i] = t.txs[i].Flat()
 	}
 	f := stitchFlat(t.c.part, views)
+	t.c.stitch.builds.Add(1)
 	t.c.stitch.store(t.stamps, f)
 	t.flat = f
 	return f
@@ -159,8 +172,9 @@ type stitchCache struct {
 	stamps []uint64
 	flat   ligra.Graph
 
-	builds atomic.Uint64
-	hits   atomic.Uint64
+	builds  atomic.Uint64 // full stitches (every shard gathered)
+	patches atomic.Uint64 // delta stitches off the previous slot contents
+	hits    atomic.Uint64
 }
 
 // lookup returns the cached stitched view when the slot matches the exact
@@ -175,6 +189,20 @@ func (c *stitchCache) lookup(stamps []uint64) ligra.Graph {
 	return nil
 }
 
+// base returns the slot's current view and a copy of its vector, for use
+// as a delta-stitch base — any vector of matching width will do, newer or
+// older (the reuse test is per-component equality). Nil when the slot is
+// empty or the width differs (resharding never happens live, so that means
+// an unset slot).
+func (c *stitchCache) base(n int) (ligra.Graph, []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.flat == nil || len(c.stamps) != n {
+		return nil, nil
+	}
+	return c.flat, slices.Clone(c.stamps)
+}
+
 // store installs a freshly stitched view for the given vector. A slow
 // stitcher of an older vector must not evict a newer one already in the
 // slot — steady-state readers pin the newest vector, and regressing the
@@ -184,7 +212,6 @@ func (c *stitchCache) lookup(stamps []uint64) ligra.Graph {
 func (c *stitchCache) store(stamps []uint64, flat ligra.Graph) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.builds.Add(1)
 	if c.flat != nil && len(c.stamps) == len(stamps) {
 		newer := true
 		for i, s := range c.stamps {

@@ -190,10 +190,134 @@ func stitchFlat(part Partitioner, views []ligra.Graph) ligra.Graph {
 		})
 	}
 	fv := &FlatView{part: part, views: views, degs: degs, order: order, m: m}
+	return wrapWeighted(fv, views)
+}
+
+// wrapWeighted returns the view as FlatWeightedView when every shard view
+// carries weights, else as-is.
+func wrapWeighted(fv *FlatView, views []ligra.Graph) ligra.Graph {
 	for _, v := range views {
 		if _, ok := v.(ligra.WeightedGraph); !ok {
 			return fv
 		}
 	}
 	return FlatWeightedView{fv}
+}
+
+// flatViewOf unwraps the stitched FlatView behind either wrapper.
+func flatViewOf(g ligra.Graph) *FlatView {
+	switch v := g.(type) {
+	case *FlatView:
+		return v
+	case FlatWeightedView:
+		return v.FlatView
+	}
+	return nil
+}
+
+// deltaStitch assembles the flat view of a version vector out of a
+// previously stitched base: every shard whose vector component did not move
+// keeps its per-shard view verbatim (pointer identity — its version is
+// unchanged, so its flat view is too), and only moved shards fetch fresh
+// views and refill their slice of the degree array. The base degree array
+// is copied wholesale (a memmove) before the refill, so the cost is
+// O(n copy + moved-shard ranges) instead of the full O(n) degree gather
+// with per-shard dispatch — and, more importantly, unmoved shards' engines
+// are never asked for their views at all. The base is never mutated.
+// Returns nil when the delta brings no advantage (no unmoved shard, or the
+// base is not a stitched flat view), signaling the caller to stitch fully.
+func deltaStitch(part Partitioner, base ligra.Graph, baseStamps, stamps []uint64, fetch func(s int) ligra.Graph) ligra.Graph {
+	bv := flatViewOf(base)
+	if bv == nil || len(bv.views) != len(stamps) || len(baseStamps) != len(stamps) {
+		return nil
+	}
+	moved := make([]bool, len(stamps))
+	anyKept := false
+	for s := range stamps {
+		moved[s] = stamps[s] != baseStamps[s]
+		anyKept = anyKept || !moved[s]
+	}
+	if !anyKept {
+		return nil
+	}
+	views := make([]ligra.Graph, len(stamps))
+	order := 0
+	var m uint64
+	for s := range views {
+		if moved[s] {
+			views[s] = fetch(s)
+		} else {
+			views[s] = bv.views[s]
+		}
+		if o := views[s].Order(); o > order {
+			order = o
+		}
+		m += views[s].NumEdges()
+	}
+	degs := make([]int32, order)
+	copy(degs, bv.degs) // ids beyond the base order stay 0 until refilled
+	if rp, ok := part.(RangePartitioner); ok {
+		for s, v := range views {
+			if !moved[s] {
+				continue
+			}
+			lo, hi := rp.Range(s)
+			if lo >= uint64(order) {
+				continue
+			}
+			if hi > uint64(order) {
+				hi = uint64(order)
+			}
+			var sd []int32
+			if fg, ok := v.(ligra.FlatGraph); ok {
+				sd = fg.Degrees()
+			}
+			if sd != nil {
+				end := hi
+				if end > uint64(len(sd)) {
+					end = uint64(len(sd))
+				}
+				if lo < end {
+					copy(degs[lo:end], sd[lo:end])
+				}
+				// The shard may have shrunk (or the base order may exceed
+				// the new per-shard array): the copied base values past the
+				// new array are stale, zero them.
+				for u := end; u < hi; u++ {
+					degs[u] = 0
+				}
+				continue
+			}
+			for u := lo; u < hi; u++ {
+				degs[u] = int32(v.Degree(uint32(u)))
+			}
+		}
+	} else {
+		// Arbitrary ownership: one O(n) pass testing the owner against the
+		// moved set — still far cheaper than the full gather, which
+		// dispatches a Degree read (or array index) per id on every shard.
+		sdegs := make([][]int32, len(views))
+		for s, v := range views {
+			if fg, ok := v.(ligra.FlatGraph); ok {
+				sdegs[s] = fg.Degrees()
+			}
+		}
+		parallel.ForGrain(order, 1024, func(u int) {
+			s := part.Owner(uint32(u))
+			if !moved[s] {
+				return
+			}
+			if sd := sdegs[s]; sd != nil {
+				if u < len(sd) {
+					degs[u] = sd[u]
+				} else {
+					degs[u] = 0
+				}
+				return
+			}
+			degs[u] = int32(views[s].Degree(uint32(u)))
+		})
+	}
+	fv := &FlatView{part: part, views: views, degs: degs, order: order, m: m}
+	return wrapWeighted(fv, views)
 }

@@ -79,10 +79,12 @@ type Report struct {
 	RetiredVersions uint64   `json:"retired_versions"`
 	FinalStamps     []uint64 `json:"final_stamps"`
 
-	FlatBuilds   uint64 `json:"flat_builds"`
-	FlatHits     uint64 `json:"flat_hits"`
-	StitchBuilds uint64 `json:"stitch_builds"`
-	StitchHits   uint64 `json:"stitch_hits"`
+	FlatBuilds    uint64 `json:"flat_builds"`
+	FlatPatches   uint64 `json:"flat_patches,omitempty"`
+	FlatHits      uint64 `json:"flat_hits"`
+	StitchBuilds  uint64 `json:"stitch_builds"`
+	StitchPatches uint64 `json:"stitch_patches,omitempty"`
+	StitchHits    uint64 `json:"stitch_hits"`
 }
 
 // Run executes the workload and reports. The cluster is flushed but left
@@ -138,8 +140,10 @@ func (w *Workload[G, E]) Run() Report {
 		RetiredVersions: st.RetiredVersions - before.RetiredVersions,
 		FinalStamps:     stamps,
 		FlatBuilds:      st.FlatBuilds - before.FlatBuilds,
+		FlatPatches:     st.FlatPatches - before.FlatPatches,
 		FlatHits:        st.FlatHits - before.FlatHits,
 		StitchBuilds:    st.StitchBuilds - before.StitchBuilds,
+		StitchPatches:   st.StitchPatches - before.StitchPatches,
 		StitchHits:      st.StitchHits - before.StitchHits,
 	}
 	for _, es := range st.PerShard {

@@ -568,7 +568,7 @@ func RecoverGraphEngine(p ctree.Params, opts Options, d Durability) (*Engine[asp
 	if err != nil {
 		return nil, err
 	}
-	e.SetFlatten(func(g aspen.Graph) ligra.Graph { return aspen.BuildFlatSnapshot(g) })
+	wireGraphFlat(e, opts)
 	return e, nil
 }
 
@@ -581,7 +581,7 @@ func RecoverWeightedEngine(p ctree.Params, opts Options, d Durability) (*Engine[
 	if err != nil {
 		return nil, err
 	}
-	e.SetFlatten(func(g aspen.WeightedGraph) ligra.Graph { return aspen.BuildFlatWeightedSnapshot(g) })
+	wireWeightedFlat(e, opts)
 	return e, nil
 }
 

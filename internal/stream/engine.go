@@ -50,6 +50,14 @@ type Options struct {
 	// version finds it cached instead of paying the O(n) build inside its
 	// query. Off by default: views build lazily on the first Tx.Flat.
 	PrebuildFlat bool
+	// PatchFlat derives each version's flat view from its predecessor's by
+	// patching only what the commit changed — O(batch) copy-on-write work
+	// instead of the O(n) rebuild — so PrebuildFlat commits amortize to the
+	// batch size. Honored by the graph-flavored constructors (which register
+	// the aspen patcher); custom snapshot types opt in via SetFlatPatcher.
+	// The cache then holds its newest view one version past retirement to
+	// anchor the patch chain (see flatCache).
+	PatchFlat bool
 	// PriorityEdges routes batches of at most this many edges through a
 	// priority lane that the ingest loop drains first (a second channel
 	// behind a biased select), so small-batch commit latency under
@@ -97,6 +105,10 @@ type Engine[G ligra.Graph, E any] struct {
 	// userRetire is the client hook chained after the cache drop.
 	flat       flatCache[G]
 	userRetire func(stamp uint64)
+
+	// onCommit, when set, observes every published version on the ingest
+	// goroutine — the hook behind incremental kernel maintenance.
+	onCommit func(prev, cur G, stamp uint64, runs []CommitRun[E])
 
 	// dur, when non-nil, is the durable commit path (durable.go): WAL
 	// append + policy fsync before apply/ack, background checkpointing.
@@ -172,8 +184,23 @@ func NewGraphEngine(g aspen.Graph, opts Options) *Engine[aspen.Graph, aspen.Edge
 		func(g aspen.Graph, b []aspen.Edge) aspen.Graph { return g.InsertEdges(b) },
 		func(g aspen.Graph, b []aspen.Edge) aspen.Graph { return g.DeleteEdges(b) },
 		opts)
-	e.SetFlatten(func(g aspen.Graph) ligra.Graph { return aspen.BuildFlatSnapshot(g) })
+	wireGraphFlat(e, opts)
 	return e
+}
+
+// wireGraphFlat registers the aspen flat-view builder (and, under
+// Options.PatchFlat, the incremental patcher) on an unweighted engine —
+// shared by the in-memory and durable constructors.
+func wireGraphFlat(e *Engine[aspen.Graph, aspen.Edge], opts Options) {
+	e.SetFlatten(func(g aspen.Graph) ligra.Graph { return aspen.BuildFlatSnapshot(g) })
+	if opts.PatchFlat {
+		e.SetFlatPatcher(func(prev ligra.Graph, g aspen.Graph) ligra.Graph {
+			if fs, ok := prev.(*aspen.FlatSnapshot); ok {
+				return aspen.PatchFlatSnapshot(fs, g)
+			}
+			return aspen.BuildFlatSnapshot(g)
+		})
+	}
 }
 
 // NewWeightedEngine serves an aspen.WeightedGraph with the flat-view cache
@@ -185,8 +212,21 @@ func NewWeightedEngine(g aspen.WeightedGraph, opts Options) *Engine[aspen.Weight
 		func(g aspen.WeightedGraph, b []aspen.WeightedEdge) aspen.WeightedGraph { return g.InsertEdges(b) },
 		func(g aspen.WeightedGraph, b []aspen.WeightedEdge) aspen.WeightedGraph { return g.DeleteEdges(b) },
 		opts)
-	e.SetFlatten(func(g aspen.WeightedGraph) ligra.Graph { return aspen.BuildFlatWeightedSnapshot(g) })
+	wireWeightedFlat(e, opts)
 	return e
+}
+
+// wireWeightedFlat is wireGraphFlat for weighted engines.
+func wireWeightedFlat(e *Engine[aspen.WeightedGraph, aspen.WeightedEdge], opts Options) {
+	e.SetFlatten(func(g aspen.WeightedGraph) ligra.Graph { return aspen.BuildFlatWeightedSnapshot(g) })
+	if opts.PatchFlat {
+		e.SetFlatPatcher(func(prev ligra.Graph, g aspen.WeightedGraph) ligra.Graph {
+			if fs, ok := prev.(*aspen.FlatWeightedSnapshot); ok {
+				return aspen.PatchFlatWeightedSnapshot(fs, g)
+			}
+			return aspen.BuildFlatWeightedSnapshot(g)
+		})
+	}
 }
 
 // SetFlatten registers the snapshot-to-flat-view builder behind Tx.Flat.
@@ -194,6 +234,40 @@ func NewWeightedEngine(g aspen.WeightedGraph, opts Options) *Engine[aspen.Weight
 // before the first Submit or Begin; the graph-flavored constructors
 // register the aspen builders automatically.
 func (e *Engine[G, E]) SetFlatten(fn func(G) ligra.Graph) { e.flat.flatten = fn }
+
+// SetFlatPatcher registers the incremental view derivation behind the flat
+// cache: fn receives a previously materialized view (always of an older
+// version of the same lineage) and the snapshot to view, and returns that
+// snapshot's flat view — typically by copy-on-write patching in O(diff)
+// (aspen.PatchFlatSnapshot). fn must fall back to a full build when prev is
+// not a type it can patch. Must be called before the first Submit or Begin;
+// the graph-flavored constructors register the aspen patchers when
+// Options.PatchFlat is set.
+func (e *Engine[G, E]) SetFlatPatcher(fn func(prev ligra.Graph, g G) ligra.Graph) {
+	e.flat.patch = fn
+}
+
+// CommitRun is one same-kind run of a committed group, in application
+// order: the deletions or insertions folded into a single functional tree
+// pass. Slices are the engine's — observers must not mutate or retain them
+// past the hook call.
+type CommitRun[E any] struct {
+	Del   bool
+	Edges []E
+}
+
+// OnCommit registers fn to observe every published version, called on the
+// ingest goroutine after the version (and, under PrebuildFlat, its flat
+// view) is published but before the commit is acknowledged — so a Flush
+// returning guarantees the hook has run for everything submitted before it.
+// prev and cur are the snapshots immediately before and after the commit
+// (both immutable and safe to retain; holding them only delays GC, not
+// correctness), runs the applied update sequence. The hook serializes with
+// ingest: incremental maintenance (algos.IncrementalCC) belongs here, heavy
+// recomputation does not. Call before the first Submit.
+func (e *Engine[G, E]) OnCommit(fn func(prev, cur G, stamp uint64, runs []CommitRun[E])) {
+	e.onCommit = fn
+}
 
 // OnRetire registers fn to run when a superseded version's last reader
 // drops it (after the engine evicts the version's cached flat view; see
@@ -487,8 +561,9 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 				return
 			}
 		}
-		var committed G
+		var before, committed G
 		stamp = e.reg.Update(func(g G) G {
+			before = g
 			for _, r := range runs {
 				if r.del {
 					g = e.remove(g, r.edges)
@@ -507,6 +582,13 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 			// Build-on-commit: the ingest goroutine still holds the freshly
 			// published version current, so the stamp cannot retire under us.
 			e.flat.viewOf(stamp, committed)
+		}
+		if e.onCommit != nil {
+			crs := make([]CommitRun[E], len(runs))
+			for i, r := range runs {
+				crs[i] = CommitRun[E]{Del: r.del, Edges: r.edges}
+			}
+			e.onCommit(before, committed, stamp, crs)
 		}
 	}
 	// Counters and latencies first, acks last: a waiter woken by its ack
@@ -558,12 +640,15 @@ type Stats struct {
 	// still pinned (plus the current one) and versions fully released.
 	LiveVersions    int64  `json:"live_versions"`
 	RetiredVersions uint64 `json:"retired_versions"`
-	// FlatBuilds / FlatHits account the flat-view cache: views materialized
-	// (at most one per version) and Tx.Flat calls served from cache.
-	// FlatCached is the number of views currently held (≤ LiveVersions).
-	FlatBuilds uint64 `json:"flat_builds"`
-	FlatHits   uint64 `json:"flat_hits"`
-	FlatCached int    `json:"flat_cached"`
+	// FlatBuilds / FlatPatches / FlatHits account the flat-view cache:
+	// views built from scratch, views derived from a predecessor view in
+	// O(batch) (Options.PatchFlat), and Tx.Flat calls served from cache.
+	// Builds + patches is at most one per version. FlatCached is the number
+	// of views currently held (≤ LiveVersions).
+	FlatBuilds  uint64 `json:"flat_builds"`
+	FlatPatches uint64 `json:"flat_patches,omitempty"`
+	FlatHits    uint64 `json:"flat_hits"`
+	FlatCached  int    `json:"flat_cached"`
 	// Commit digests the enqueue-to-visible latency of committed batches.
 	Commit LatencySummary `json:"commit"`
 	// Durable reports whether the engine has a durable commit path; the
@@ -597,6 +682,7 @@ func (e *Engine[G, E]) Stats() Stats {
 		LiveVersions:    e.reg.LiveVersions(),
 		RetiredVersions: e.reg.RetiredVersions(),
 		FlatBuilds:      e.flat.builds.Load(),
+		FlatPatches:     e.flat.patches.Load(),
 		FlatHits:        e.flat.hits.Load(),
 		FlatCached:      e.flat.size(),
 		Commit:          e.commitHist.Summary(),

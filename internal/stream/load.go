@@ -60,11 +60,22 @@ type Workload[G ligra.Graph, E any] struct {
 // generator range [lo, hi) as updates. The returned closure is
 // single-goroutine (writer-only), like NextBatch.
 func UpdateSchedule[E any](start, batch uint64, mk func(lo, hi uint64) []E) func(i uint64) (bool, []E) {
+	return UpdateScheduleMix(start, batch, 10, mk)
+}
+
+// UpdateScheduleMix generalizes UpdateSchedule to an arbitrary delete
+// frequency: one delete batch (replaying the oldest recently inserted
+// range) every period batches — period 10 is the classic 9:1 mix, period 2
+// the delete-heavy expiry mix that stresses the incremental-maintenance
+// paths (flat-view patching, IncrementalCC splits). period < 2 (or a dry
+// replay buffer) degenerates to inserts only; the buffer keeps a few spans
+// in flight so deletes never chase the batch just inserted.
+func UpdateScheduleMix[E any](start, batch, period uint64, mk func(lo, hi uint64) []E) func(i uint64) (bool, []E) {
 	type span struct{ lo, hi uint64 }
 	var recent []span
 	pos := start
 	return func(i uint64) (bool, []E) {
-		if i%10 == 9 && len(recent) > 4 {
+		if period >= 2 && i%period == period-1 && len(recent) > 4 {
 			s := recent[0]
 			recent = recent[1:]
 			return true, mk(s.lo, s.hi)
@@ -106,11 +117,14 @@ type Report struct {
 	RetiredVersions uint64 `json:"retired_versions"`
 	FinalStamp      uint64 `json:"final_stamp"`
 
-	// FlatBuilds / FlatHits prove the flat-cache contract under load: with
-	// flat kernels, builds ≤ versions published + 1 (at most one build per
-	// committed version) while hits cover every other query.
-	FlatBuilds uint64 `json:"flat_builds"`
-	FlatHits   uint64 `json:"flat_hits"`
+	// FlatBuilds / FlatPatches / FlatHits prove the flat-cache contract
+	// under load: with flat kernels, builds + patches ≤ versions published
+	// + 1 (at most one materialization per committed version; under
+	// Options.PatchFlat all but the first are O(batch) patches) while hits
+	// cover every other query.
+	FlatBuilds  uint64 `json:"flat_builds"`
+	FlatPatches uint64 `json:"flat_patches,omitempty"`
+	FlatHits    uint64 `json:"flat_hits"`
 }
 
 // DriveSpec parameterizes the shared §7.8 load loop (Drive) that both the
@@ -305,6 +319,7 @@ func (w *Workload[G, E]) Run() Report {
 		RetiredVersions: st.RetiredVersions - before.RetiredVersions,
 		FinalStamp:      stamp,
 		FlatBuilds:      st.FlatBuilds - before.FlatBuilds,
+		FlatPatches:     st.FlatPatches - before.FlatPatches,
 		FlatHits:        st.FlatHits - before.FlatHits,
 	}
 	for i, k := range w.Kernels {
