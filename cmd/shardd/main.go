@@ -1,0 +1,160 @@
+// Command shardd hosts one shard of the distributed serving layer: a
+// durable stream.Engine behind the internal/rpc frame protocol. A
+// cluster of shardd processes (one per shard) serves the same facade
+// as the in-process sharded cluster — cmd/stream -connect drives it,
+// and every algos kernel runs unmodified on stitched remote views.
+//
+//	shardd -shard 0 -shards 3 -addr 127.0.0.1:7070 -data /var/lib/shard0
+//	shardd -shard 0 -shards 3 -replica-of 127.0.0.1:7070 -addr 127.0.0.1:7170
+//
+// With -replica-of the process is a read replica instead: it tails the
+// primary's WAL record stream and serves pinned reads addressed by WAL
+// sequence number (no local durability; it re-tails on restart).
+//
+// Submits are acknowledged only after the batch commits, so under the
+// default fsync-per-commit policy an acked batch survives kill -9 of
+// the process — the multi-process crash test in main_test.go proves
+// exactly that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ctree"
+	"repro/internal/shard/remote"
+	"repro/internal/stream"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shardd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole daemon behind a testable seam: flags, engine (or
+// replica), listener, serve loop, graceful shutdown on SIGINT/SIGTERM.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("shardd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:0", "listen address (port 0 picks one; the chosen address is printed)")
+		shardID   = fs.Int("shard", 0, "this process's shard index")
+		shards    = fs.Int("shards", 1, "total shard count of the cluster")
+		weighted  = fs.Bool("weighted", false, "serve aspen.WeightedGraph instead of aspen.Graph")
+		dataDir   = fs.String("data", "", "durability directory: WAL + checkpoints; recovers existing state on start (required for primaries)")
+		fsyncPol  = fs.String("fsync", "per-commit", "WAL fsync policy: per-commit, interval, or off")
+		fsyncInt  = fs.Duration("fsync-every", 20*time.Millisecond, "fsync interval under -fsync interval")
+		ckptEvery = fs.Int("ckpt-every", 256, "checkpoint after this many commits")
+		queueCap  = fs.Int("queue", 256, "ingest queue capacity (batches)")
+		coalesce  = fs.Int("coalesce", 32, "max batches folded into one commit")
+		replicaOf = fs.String("replica-of", "", "run as a read replica tailing this primary address instead of a primary")
+		ring      = fs.Int("ring", 0, "replica: retained (seq, graph) states for exact-seq reads (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shardID < 0 || *shards < 1 || *shardID >= *shards {
+		return fmt.Errorf("bad -shard %d / -shards %d", *shardID, *shards)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	p := ctree.DefaultParams()
+	if *replicaOf != "" {
+		role := "replica"
+		fmt.Fprintf(stdout, "shardd: shard %d/%d %s of %s listening on %s\n",
+			*shardID, *shards, role, *replicaOf, ln.Addr())
+		if *weighted {
+			r := remote.NewWeightedReplica(*replicaOf, p, *shardID, *shards, *ring)
+			go func() { <-sigs; r.Close() }()
+			return r.Serve(ln)
+		}
+		r := remote.NewGraphReplica(*replicaOf, p, *shardID, *shards, *ring)
+		go func() { <-sigs; r.Close() }()
+		return r.Serve(ln)
+	}
+
+	if *dataDir == "" {
+		ln.Close()
+		return fmt.Errorf("-data is required (primaries are durable; acks imply committed + logged state)")
+	}
+	pol, err := stream.ParseSyncPolicy(*fsyncPol)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	dur := stream.Durability{
+		Dir:             *dataDir,
+		Policy:          pol,
+		Interval:        *fsyncInt,
+		CheckpointEvery: *ckptEvery,
+	}
+	opts := stream.Options{QueueCap: *queueCap, MaxCoalesce: *coalesce}
+
+	t0 := time.Now()
+	if *weighted {
+		eng, err := stream.RecoverWeightedEngine(p, opts, dur)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("recover %s: %w", *dataDir, err)
+		}
+		srv := remote.NewWeightedServer(eng, p, *dataDir, *shardID, *shards)
+		return servePrimary(stdout, ln, sigs, srv.Serve, srv.Close, eng, t0, *shardID, *shards)
+	}
+	eng, err := stream.RecoverGraphEngine(p, opts, dur)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("recover %s: %w", *dataDir, err)
+	}
+	srv := remote.NewGraphServer(eng, p, *dataDir, *shardID, *shards)
+	return servePrimary(stdout, ln, sigs, srv.Serve, srv.Close, eng, t0, *shardID, *shards)
+}
+
+// engineCloser is the slice of stream.Engine the shutdown path needs.
+type engineCloser interface {
+	Close()
+	Err() error
+	Stats() stream.Stats
+}
+
+// servePrimary announces the listener, serves until a signal, then
+// closes the server (draining connections) and the engine (final
+// checkpoint).
+func servePrimary(stdout io.Writer, ln net.Listener, sigs <-chan os.Signal,
+	serve func(net.Listener) error, closeSrv func(), eng engineCloser,
+	t0 time.Time, shardID, shards int) error {
+	st := eng.Stats()
+	fmt.Fprintf(stdout, "shardd: shard %d/%d recovered stamp %d in %v, listening on %s\n",
+		shardID, shards, st.Stamp, time.Since(t0).Round(time.Millisecond), ln.Addr())
+	done := make(chan struct{})
+	go func() {
+		<-sigs
+		closeSrv()
+		close(done)
+	}()
+	err := serve(ln)
+	select {
+	case <-done: // signal-driven shutdown: not an error
+		err = nil
+	default:
+	}
+	eng.Close()
+	if eerr := eng.Err(); eerr != nil {
+		return fmt.Errorf("engine: %w", eerr)
+	}
+	fmt.Fprintln(stdout, "shardd: clean shutdown")
+	return err
+}

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/aspen"
+	"repro/internal/shard"
+	"repro/internal/shard/remote"
+	"repro/internal/xhash"
+)
+
+// TestMain doubles as the shardd child process: with SHARDD_ARGS set,
+// the test binary runs the daemon instead of the suite, so the
+// multi-process tests below get real shardd processes (real sockets,
+// real files, real SIGKILL) without building cmd/shardd first.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("SHARDD_ARGS"); args != "" {
+		if err := run(strings.Fields(args), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "shardd child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// shardProc is one spawned shardd child.
+type shardProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startShard spawns a shardd child and scans its stdout for the
+// "listening on" line to learn the bound address.
+func startShard(t *testing.T, args string) *shardProc {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "SHARDD_ARGS="+args)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &shardProc{cmd: cmd}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			p.addr = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if p.addr == "" {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		t.Fatalf("child never announced its address (args %q)", args)
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+		_, _ = io.Copy(io.Discard, out)
+	}()
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	return p
+}
+
+// clusterBatch is the deterministic insert stream of the kill test:
+// batch i is a seeded random undirected edge set over a small id space.
+func clusterBatch(i int) []aspen.Edge {
+	rng := xhash.NewRNG(uint64(9000 + i))
+	pairs := make([]aspen.Edge, 25)
+	for j := range pairs {
+		pairs[j] = aspen.Edge{Src: rng.Uint32() % 512, Dst: rng.Uint32() % 512}
+	}
+	return aspen.MakeUndirected(pairs)
+}
+
+// TestClusterKillRecover is the distributed crash test: a 2-process
+// cluster ingests acked batches under fsync-per-commit, one shard
+// server is SIGKILLed mid-stream, restarted on the same directory and
+// address, and every batch that was fully acked before the kill must be
+// present in the recovered cluster view — an ack means committed and
+// durable, cluster-wide.
+func TestClusterKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	const shards = 2
+	const span = 512
+	dirs := [shards]string{t.TempDir(), t.TempDir()}
+	procs := make([]*shardProc, shards)
+	for s := 0; s < shards; s++ {
+		procs[s] = startShard(t, fmt.Sprintf(
+			"-shard %d -shards %d -addr 127.0.0.1:0 -data %s -fsync per-commit", s, shards, dirs[s]))
+	}
+	part := shard.NewRangePartitioner(shards, span)
+	addrs := []string{procs[0].addr, procs[1].addr}
+	c, err := remote.DialGraph(part, addrs, nil, remote.Options{DialWait: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	acked := make(map[int]bool)
+	submit := func(i int) bool {
+		p, err := c.Insert(clusterBatch(i))
+		if err != nil {
+			return false
+		}
+		if err := p.Wait(); err != nil {
+			return false
+		}
+		acked[i] = true
+		return true
+	}
+
+	const beforeKill = 30
+	for i := 0; i < beforeKill; i++ {
+		if !submit(i) {
+			t.Fatalf("batch %d failed before the kill", i)
+		}
+	}
+
+	// SIGKILL shard 1: no shutdown path runs, no final checkpoint.
+	if err := procs[1].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = procs[1].cmd.Wait()
+
+	// Submissions touching the dead shard fail; acked ones stay acked.
+	submit(beforeKill)
+
+	// Restart on the same directory and address; the client's
+	// connection redials transparently on next use.
+	procs[1] = startShard(t, fmt.Sprintf(
+		"-shard 1 -shards %d -addr %s -data %s -fsync per-commit", shards, addrs[1], dirs[1]))
+	if procs[1].addr != addrs[1] {
+		t.Fatalf("restart bound %s, want %s", procs[1].addr, addrs[1])
+	}
+
+	for i := beforeKill + 1; i < beforeKill+10; i++ {
+		if !submit(i) {
+			t.Fatalf("batch %d failed after the restart", i)
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	g, err := tx.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every fully-acked batch's edges must be present (insert-only
+	// stream: nothing ever removes them).
+	for i := range acked {
+		for _, e := range clusterBatch(i) {
+			found := false
+			g.ForEachNeighbor(e.Src, func(w uint32) bool {
+				if w == e.Dst {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				t.Fatalf("acked batch %d: edge %d->%d missing after kill+recover", i, e.Src, e.Dst)
+			}
+		}
+	}
+}
+
+// TestGracefulShutdown sends SIGTERM and expects a clean exit (final
+// checkpoint written, exit code 0).
+func TestGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	p := startShard(t, "-shard 0 -shards 1 -addr 127.0.0.1:0 -data "+dir)
+	part := shard.NewRangePartitioner(1, 512)
+	c, err := remote.DialGraph(part, []string{p.addr}, nil, remote.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend, err := c.Insert(clusterBatch(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pend.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Wait(); err != nil {
+		t.Fatalf("SIGTERM exit: %v", err)
+	}
+}

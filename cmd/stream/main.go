@@ -65,6 +65,8 @@ func main() {
 		delmix   = flag.Uint64("delmix", 10, "delete-batch period of the writer schedule: one delete every N batches (10 = the classic 9:1 mix, 2 = delete-heavy expiry)")
 		interval = flag.Duration("interval", 0, "pace the writer to one batch per interval (0 = saturate)")
 		shards   = flag.String("shards", "", "comma list of shard counts: run the PR-5 sharded-ingest sweep instead of the single-engine sweep (1 = plain engine baseline)")
+		connect  = flag.String("connect", "", "comma list of shardd primary addresses: drive a remote cluster (PR 8) instead of in-process engines")
+		readFrom = flag.String("read-from", "", "comma list of shardd replica addresses (one per -connect shard, empty entries allowed)")
 		partKind = flag.String("partition", "range", "shard partitioner: range or hash")
 		priority = flag.Int("priority", 0, "priority-lane threshold in edges (0 disables the small-batch lane)")
 		quick    = flag.Bool("quick", false, "tiny smoke-test configuration")
@@ -154,6 +156,18 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	stop := ctx.Done()
+
+	if *connect != "" {
+		if *shards != "" || *dataDir != "" {
+			fatal("-connect drives remote shardd processes; -shards/-data do not apply")
+		}
+		runRemote(ctx, cfg, *connect, *readFrom, readerCounts, *duration,
+			time.Duration(cfg.IntervalNS), *jsonOut, *jsonTag, *mergeIn)
+		return
+	}
+	if *readFrom != "" {
+		fatal("-read-from requires -connect")
+	}
 
 	if *shards != "" {
 		if *dataDir != "" {

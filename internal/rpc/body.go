@@ -1,0 +1,85 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrBody is returned by Body.Err when a decode ran past the end of
+// the message body — a malformed (but checksum-valid) message.
+var ErrBody = errors.New("rpc: short message body")
+
+// Body is a sequential decode cursor over a message body. Overruns are
+// sticky: once a read runs past the end, every subsequent read returns
+// zero values and Err reports ErrBody, so handlers can decode a whole
+// message and check once.
+type Body struct {
+	b    []byte
+	off  int
+	fail bool
+}
+
+// NewBody returns a cursor over b.
+func NewBody(b []byte) Body { return Body{b: b} }
+
+// Err reports whether any read overran the body.
+func (d *Body) Err() error {
+	if d.fail {
+		return ErrBody
+	}
+	return nil
+}
+
+// Len returns the number of unread bytes.
+func (d *Body) Len() int { return len(d.b) - d.off }
+
+func (d *Body) take(n int) []byte {
+	if d.fail || n < 0 || len(d.b)-d.off < n {
+		d.fail = true
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+// U8 reads one byte.
+func (d *Body) U8() uint8 {
+	p := d.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// U32 reads a little-endian uint32.
+func (d *Body) U32() uint32 {
+	p := d.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Body) U64() uint64 {
+	p := d.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// F32 reads a little-endian IEEE-754 float32.
+func (d *Body) F32() float32 { return math.Float32frombits(d.U32()) }
+
+// Bytes reads n raw bytes, aliasing the underlying body.
+func (d *Body) Bytes(n int) []byte { return d.take(n) }
+
+// Rest returns all unread bytes, aliasing the underlying body.
+func (d *Body) Rest() []byte {
+	p := d.b[d.off:]
+	d.off = len(d.b)
+	return p
+}

@@ -1,0 +1,201 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func encodeFrame(t *testing.T, e *Encoder, v Verb, flags uint8, id uint64, body []byte) []byte {
+	t.Helper()
+	e.Begin(v, flags, id)
+	e.Bytes(body)
+	f, err := e.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	out := make([]byte, len(f))
+	copy(out, f)
+	return out
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var e Encoder
+	var stream bytes.Buffer
+	type msg struct {
+		v     Verb
+		flags uint8
+		id    uint64
+		body  []byte
+	}
+	msgs := []msg{
+		{VerbHello, 0, 1, []byte{1, 2, 3}},
+		{VerbSubmit, FlagDel, 2, bytes.Repeat([]byte{0xAB}, 1<<16)},
+		{VerbFlush, FlagResp, 3, nil},
+		{VerbRead, FlagResp | FlagErr | FlagLagging, 1 << 60, []byte("replica behind")},
+	}
+	for _, m := range msgs {
+		stream.Write(encodeFrame(t, &e, m.v, m.flags, m.id, m.body))
+	}
+	r := NewReader(&stream)
+	for i, m := range msgs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if got.Verb != m.v || got.Flags != m.flags || got.ReqID != m.id || !bytes.Equal(got.Body, m.body) {
+			t.Fatalf("msg %d: got %+v want %+v", i, got, m)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("at end: want io.EOF, got %v", err)
+	}
+}
+
+func TestFrameEncoderPrimitives(t *testing.T) {
+	var e Encoder
+	e.Begin(VerbPin, FlagResp, 7)
+	e.U8(0xFE)
+	e.U32(0xDEADBEEF)
+	e.U64(1 << 50)
+	e.F32(3.5)
+	copy(e.Reserve(4), []byte{9, 8, 7, 6})
+	e.String("tail")
+	f, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewReader(bytes.NewReader(f)).Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewBody(m.Body)
+	if got := d.U8(); got != 0xFE {
+		t.Fatalf("U8 = %x", got)
+	}
+	if got := d.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := d.U64(); got != 1<<50 {
+		t.Fatalf("U64 = %x", got)
+	}
+	if got := d.F32(); got != 3.5 {
+		t.Fatalf("F32 = %v", got)
+	}
+	if got := d.Bytes(4); !bytes.Equal(got, []byte{9, 8, 7, 6}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := string(d.Rest()); got != "tail" {
+		t.Fatalf("Rest = %q", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	// Overrun is sticky and reported once.
+	d.U64()
+	if err := d.Err(); !errors.Is(err, ErrBody) {
+		t.Fatalf("overrun Err = %v", err)
+	}
+}
+
+func TestFrameTruncationRefused(t *testing.T) {
+	var e Encoder
+	f := encodeFrame(t, &e, VerbSubmit, 0, 42, bytes.Repeat([]byte{7}, 100))
+	for cut := 1; cut < len(f); cut++ {
+		_, err := NewReader(bytes.NewReader(f[:cut])).Next()
+		if err == nil {
+			t.Fatalf("cut=%d: truncated frame accepted", cut)
+		}
+		if err == io.EOF {
+			t.Fatalf("cut=%d: truncation reported as clean EOF", cut)
+		}
+	}
+}
+
+func TestFrameCorruptionRefused(t *testing.T) {
+	var e Encoder
+	f := encodeFrame(t, &e, VerbRead, FlagResp, 9, bytes.Repeat([]byte{3}, 64))
+	for i := 0; i < len(f); i++ {
+		mut := make([]byte, len(f))
+		copy(mut, f)
+		mut[i] ^= 0x40
+		// CRC32 detects all single-bit errors, and a flipped length
+		// field either truncates (CRC mismatch) or overruns (EOF).
+		if _, err := NewReader(bytes.NewReader(mut)).Next(); err == nil {
+			t.Fatalf("byte %d: corrupted frame accepted", i)
+		}
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	// Absurd length field must be refused before allocating.
+	var head [frameHead]byte
+	binary.LittleEndian.PutUint32(head[0:], uint32(MaxFrame))
+	_, err := NewReader(bytes.NewReader(head[:])).Next()
+	if !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversize length: %v", err)
+	}
+	// Below the message head is also invalid.
+	binary.LittleEndian.PutUint32(head[0:], msgHead-1)
+	_, err = NewReader(bytes.NewReader(head[:])).Next()
+	if !errors.Is(err, ErrFrame) {
+		t.Fatalf("undersize length: %v", err)
+	}
+}
+
+func TestFinishRejectsOversizeFrame(t *testing.T) {
+	var e Encoder
+	e.Begin(VerbSubmit, 0, 1)
+	e.Reserve(MaxFrame)
+	if _, err := e.Finish(); err == nil {
+		t.Fatal("oversize frame encoded")
+	}
+}
+
+func BenchmarkFrameEncode(b *testing.B) {
+	var e Encoder
+	edges := make([]byte, 1000*8)
+	for i := range edges {
+		edges[i] = byte(i)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(frameHead + msgHead + 8 + len(edges)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Begin(VerbSubmit, FlagDel, uint64(i))
+		e.U8(8)
+		e.U8(0)
+		e.U8(0)
+		e.U8(0)
+		e.U32(1000)
+		copy(e.Reserve(len(edges)), edges)
+		if _, err := e.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	var e Encoder
+	e.Begin(VerbSubmit, 0, 1)
+	copy(e.Reserve(8000), bytes.Repeat([]byte{5}, 8000))
+	f, err := e.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := make([]byte, len(f))
+	copy(frame, f)
+	br := bytes.NewReader(frame)
+	r := NewReader(br)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(frame)
+		if _, err := r.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

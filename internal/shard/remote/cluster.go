@@ -1,0 +1,451 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aspen"
+	"repro/internal/ligra"
+	"repro/internal/rpc"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// maxSubmitEdges bounds one Submit frame; larger sub-batches are split
+// into several pipelined frames (the engine coalesces them back).
+const maxSubmitEdges = 1 << 20
+
+// Options tunes the cluster client.
+type Options struct {
+	// MaxInFlight bounds pipelined Submit frames per shard connection
+	// (backpressure, mirroring the engine's bounded queue). Default 256.
+	MaxInFlight int
+	// DialWait is how long an op retries dialing a down shard before
+	// failing (lets cluster processes start in any order). Default 5s.
+	DialWait time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 256
+	}
+	if o.DialWait <= 0 {
+		o.DialWait = 5 * time.Second
+	}
+	return o
+}
+
+// Cluster is the client half of the distributed shard layer: the same
+// facade as the in-process shard.Cluster, speaking rpc frames to one
+// primary (and optionally one read replica) per shard.
+type Cluster[E any] struct {
+	part     shard.Partitioner
+	codec    stream.Codec[E]
+	srcOf    func(E) uint32
+	weighted bool
+	prim     []*Conn
+	repl     []*Conn // nil entry: no replica for that shard
+	sems     []chan struct{}
+
+	txPool sync.Pool
+
+	vmu    sync.Mutex
+	views  []cachedView
+	stitch stitchSlot
+
+	// client-observed counters (see Stats).
+	edges, batches, submitErrs         atomic.Uint64
+	pins, rangeRPCs, viewFetches       atomic.Uint64
+	viewHits, stitchBuilds, stitchHits atomic.Uint64
+	replicaReads, primaryFallbacks     atomic.Uint64
+}
+
+type cachedView struct {
+	stamp uint64
+	view  ligra.Graph
+}
+
+type stitchSlot struct {
+	stamps []uint64
+	flat   ligra.Graph
+}
+
+// Dial connects a generic cluster client: one primary address per
+// shard (len must equal part.Shards()) and optional replica addresses
+// (nil, or same length with "" meaning no replica). Connections are
+// lazy: a down shard fails the first operation that needs it.
+func Dial[E any](part shard.Partitioner, primaries, replicas []string, codec stream.Codec[E], srcOf func(E) uint32, weighted bool, o Options) (*Cluster[E], error) {
+	o = o.withDefaults()
+	if len(primaries) != part.Shards() {
+		return nil, fmt.Errorf("remote: %d primary addresses for %d shards", len(primaries), part.Shards())
+	}
+	if replicas != nil && len(replicas) != part.Shards() {
+		return nil, fmt.Errorf("remote: %d replica addresses for %d shards", len(replicas), part.Shards())
+	}
+	c := &Cluster[E]{
+		part:     part,
+		codec:    codec,
+		srcOf:    srcOf,
+		weighted: weighted,
+		prim:     make([]*Conn, part.Shards()),
+		repl:     make([]*Conn, part.Shards()),
+		sems:     make([]chan struct{}, part.Shards()),
+		views:    make([]cachedView, part.Shards()),
+	}
+	for s := range c.prim {
+		hi := helloInfo{shard: s, shards: part.Shards(), weighted: weighted, width: codec.Width, role: rolePrimary}
+		c.prim[s] = newConn(primaries[s], hi, o.DialWait)
+		if replicas != nil && replicas[s] != "" {
+			rhi := hi
+			rhi.role = roleReplica
+			c.repl[s] = newConn(replicas[s], rhi, o.DialWait)
+		}
+		c.sems[s] = make(chan struct{}, o.MaxInFlight)
+	}
+	return c, nil
+}
+
+// DialGraph connects an unweighted cluster client.
+func DialGraph(part shard.Partitioner, primaries, replicas []string, o Options) (*Cluster[aspen.Edge], error) {
+	return Dial(part, primaries, replicas, stream.EdgeCodec, shard.EdgeSource, false, o)
+}
+
+// DialWeighted connects a weighted cluster client.
+func DialWeighted(part shard.Partitioner, primaries, replicas []string, o Options) (*Cluster[aspen.WeightedEdge], error) {
+	return Dial(part, primaries, replicas, stream.WeightedEdgeCodec, shard.WeightedEdgeSource, true, o)
+}
+
+// Shards returns the shard count.
+func (c *Cluster[E]) Shards() int { return len(c.prim) }
+
+// Partitioner returns the cluster's vertex partitioner.
+func (c *Cluster[E]) Partitioner() shard.Partitioner { return c.part }
+
+// Pending tracks one logical batch across the shards (and frames) it
+// was split into. Wait blocks until every remote commit acknowledged
+// and returns the first error (nil: the whole batch is committed
+// remotely — and durable, under a per-commit fsync policy).
+type Pending struct {
+	calls []*call
+	errs  []error
+	done  bool
+}
+
+// Wait blocks until every sub-batch resolves. Idempotent.
+func (p *Pending) Wait() error {
+	if !p.done {
+		p.errs = make([]error, len(p.calls))
+		for i, ca := range p.calls {
+			p.errs[i] = <-ca.done
+		}
+		p.done = true
+		p.calls = nil
+	}
+	for _, err := range p.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert routes a batch of edge insertions and pipelines each
+// sub-batch to its shard's primary. Pipelined: the call returns once
+// every frame is written (or backpressure admits it), with commit acks
+// collected by the returned Pending.
+func (c *Cluster[E]) Insert(edges []E) (*Pending, error) { return c.submit(false, edges) }
+
+// Delete routes a batch of edge deletions.
+func (c *Cluster[E]) Delete(edges []E) (*Pending, error) { return c.submit(true, edges) }
+
+func (c *Cluster[E]) submit(del bool, edges []E) (*Pending, error) {
+	parts := shard.Route(c.part, edges, c.srcOf)
+	p := &Pending{}
+	var firstErr error
+	for s, sub := range parts {
+		for len(sub) > 0 && firstErr == nil {
+			chunk := sub
+			if len(chunk) > maxSubmitEdges {
+				chunk = chunk[:maxSubmitEdges]
+			}
+			sub = sub[len(chunk):]
+			ca, err := c.submitChunk(s, del, chunk)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			p.calls = append(p.calls, ca)
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	if firstErr != nil {
+		// Frames already written stay in flight; their acks are still
+		// collected so counters and backpressure stay correct.
+		p.Wait()
+		return p, firstErr
+	}
+	return p, nil
+}
+
+// submitChunk writes one Submit frame for shard s and returns its
+// in-flight call. Blocks while the shard's in-flight window is full.
+func (c *Cluster[E]) submitChunk(s int, del bool, chunk []E) (*call, error) {
+	sem := c.sems[s]
+	sem <- struct{}{}
+	n := uint64(len(chunk))
+	ca := &call{done: make(chan error, 1)}
+	ca.onDone = func(err error) {
+		<-sem
+		if err != nil {
+			c.submitErrs.Add(1)
+		} else {
+			c.edges.Add(n)
+			c.batches.Add(1)
+		}
+	}
+	flags := uint8(0)
+	if del {
+		flags = rpc.FlagDel
+	}
+	w := c.codec.Width
+	err := c.prim[s].start(rpc.VerbSubmit, flags, func(e *rpc.Encoder) {
+		e.U32(uint32(len(chunk)))
+		buf := e.Reserve(w * len(chunk))
+		for i, ed := range chunk {
+			c.codec.Encode(buf[i*w:], ed)
+		}
+	}, ca)
+	if err != nil {
+		<-sem
+		c.submitErrs.Add(1)
+		return nil, err
+	}
+	return ca, nil
+}
+
+// FlushAll flushes every shard concurrently and returns the resulting
+// version vector of commit stamps.
+func (c *Cluster[E]) FlushAll() ([]uint64, error) {
+	stamps := make([]uint64, len(c.prim))
+	calls := make([]*call, len(c.prim))
+	var firstErr error
+	for s := range c.prim {
+		s := s
+		ca := callPool.Get().(*call)
+		ca.onBody = func(_ uint8, d *rpc.Body) error {
+			stamps[s] = d.U64()
+			d.U64() // seq watermark, unused here
+			return nil
+		}
+		if err := c.prim[s].start(rpc.VerbFlush, 0, nil, ca); err != nil {
+			ca.onBody = nil
+			callPool.Put(ca)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		calls[s] = ca
+	}
+	for _, ca := range calls {
+		if ca == nil {
+			continue
+		}
+		err := <-ca.done
+		ca.onBody = nil
+		callPool.Put(ca)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return stamps, firstErr
+}
+
+// Barrier waits until every shard has committed everything submitted
+// before the call.
+func (c *Cluster[E]) Barrier() error {
+	_, err := c.FlushAll()
+	return err
+}
+
+// Close tears down every connection. Server-side pins held by them are
+// released by the servers' connection teardown.
+func (c *Cluster[E]) Close() {
+	for _, cn := range c.prim {
+		cn.Close()
+	}
+	for _, cn := range c.repl {
+		if cn != nil {
+			cn.Close()
+		}
+	}
+}
+
+// Stats are the client-observed counters: acked ingest volume and the
+// read-path cache/fallback behavior. Server-side engine counters come
+// from ShardStats.
+type Stats struct {
+	Shards           int    `json:"shards"`
+	Edges            uint64 `json:"edges"`
+	Batches          uint64 `json:"batches"`
+	SubmitErrs       uint64 `json:"submit_errs,omitempty"`
+	Pins             uint64 `json:"pins"`
+	RangeRPCs        uint64 `json:"range_rpcs"`
+	ViewFetches      uint64 `json:"view_fetches"`
+	ViewHits         uint64 `json:"view_hits"`
+	StitchBuilds     uint64 `json:"stitch_builds"`
+	StitchHits       uint64 `json:"stitch_hits"`
+	ReplicaReads     uint64 `json:"replica_reads,omitempty"`
+	PrimaryFallbacks uint64 `json:"primary_fallbacks,omitempty"`
+}
+
+// Stats returns the client-side counters.
+func (c *Cluster[E]) Stats() Stats {
+	return Stats{
+		Shards:           len(c.prim),
+		Edges:            c.edges.Load(),
+		Batches:          c.batches.Load(),
+		SubmitErrs:       c.submitErrs.Load(),
+		Pins:             c.pins.Load(),
+		RangeRPCs:        c.rangeRPCs.Load(),
+		ViewFetches:      c.viewFetches.Load(),
+		ViewHits:         c.viewHits.Load(),
+		StitchBuilds:     c.stitchBuilds.Load(),
+		StitchHits:       c.stitchHits.Load(),
+		ReplicaReads:     c.replicaReads.Load(),
+		PrimaryFallbacks: c.primaryFallbacks.Load(),
+	}
+}
+
+// ShardStats fetches every shard server's engine counters.
+func (c *Cluster[E]) ShardStats() ([]stream.Stats, error) {
+	out := make([]stream.Stats, len(c.prim))
+	for s, cn := range c.prim {
+		raw, err := fetchStatsJSON(cn)
+		if err != nil {
+			return out, err
+		}
+		if err := unmarshalStats(raw, &out[s]); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Tx is a pinned cross-shard read transaction: stamps is the version
+// vector (one committed prefix per shard), seqs the per-shard WAL
+// watermarks replica reads are addressed by.
+type Tx[E any] struct {
+	c      *Cluster[E]
+	stamps []uint64
+	seqs   []uint64
+	pinned []bool
+	open   bool
+}
+
+// Begin pins the latest version on every shard and returns the
+// transaction. One Pin round trip per shard, pipelined.
+func (c *Cluster[E]) Begin() (*Tx[E], error) {
+	tx, _ := c.txPool.Get().(*Tx[E])
+	if tx == nil {
+		tx = &Tx[E]{
+			c:      c,
+			stamps: make([]uint64, len(c.prim)),
+			seqs:   make([]uint64, len(c.prim)),
+			pinned: make([]bool, len(c.prim)),
+		}
+	}
+	tx.open = true
+	for s := range tx.pinned {
+		tx.stamps[s], tx.seqs[s], tx.pinned[s] = 0, 0, false
+	}
+	calls := make([]*call, len(c.prim))
+	var firstErr error
+	for s := range c.prim {
+		s := s
+		ca := callPool.Get().(*call)
+		ca.onBody = func(_ uint8, d *rpc.Body) error {
+			tx.stamps[s] = d.U64()
+			tx.seqs[s] = d.U64()
+			return nil
+		}
+		if err := c.prim[s].start(rpc.VerbPin, 0, nil, ca); err != nil {
+			ca.onBody = nil
+			callPool.Put(ca)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		calls[s] = ca
+	}
+	for s, ca := range calls {
+		if ca == nil {
+			continue
+		}
+		err := <-ca.done
+		ca.onBody = nil
+		callPool.Put(ca)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			tx.pinned[s] = true
+		}
+	}
+	c.pins.Add(uint64(len(c.prim)))
+	if firstErr != nil {
+		tx.releasePins()
+		tx.open = false
+		c.txPool.Put(tx)
+		return nil, firstErr
+	}
+	return tx, nil
+}
+
+// Stamps returns the pinned version vector. Valid until Close.
+func (t *Tx[E]) Stamps() []uint64 { return t.stamps }
+
+// Seqs returns the per-shard WAL watermarks taken at pin time.
+func (t *Tx[E]) Seqs() []uint64 { return t.seqs }
+
+// Flat fetches (or reuses) the stitched flat view of the pinned
+// vector; every algos kernel runs on it unmodified.
+func (t *Tx[E]) Flat() (ligra.Graph, error) {
+	if !t.open {
+		return nil, errors.New("remote: use of closed Tx")
+	}
+	return t.c.flatFor(t.stamps, t.seqs)
+}
+
+// Close releases the pins. Idempotent.
+func (t *Tx[E]) Close() {
+	if !t.open {
+		return
+	}
+	t.releasePins()
+	t.open = false
+	t.c.txPool.Put(t)
+}
+
+func (t *Tx[E]) releasePins() {
+	for s := range t.c.prim {
+		if !t.pinned[s] {
+			continue
+		}
+		t.pinned[s] = false
+		stamp := t.stamps[s]
+		// Fire-and-forget: a lost release is reclaimed by server-side
+		// connection teardown.
+		ca := &call{done: make(chan error, 1)}
+		_ = t.c.prim[s].start(rpc.VerbRelease, 0, func(e *rpc.Encoder) {
+			e.U64(stamp)
+		}, ca)
+	}
+}

@@ -1,0 +1,331 @@
+// Package remote puts the sharded serving layer on the network: a
+// Server hosts one durable stream.Engine per process (cmd/shardd) and
+// a client-side Cluster speaks the internal/rpc frame protocol to
+// present the same facade as the in-process shard.Cluster — batches
+// are routed with the same zero-copy shard.Route, reads pin a version
+// vector of per-shard commit stamps, and flat views are stitched with
+// the same shard.StitchViews from per-shard degree/adjacency ranges
+// fetched over the wire, so every algos kernel runs unmodified against
+// a cluster of processes.
+//
+// Consistency model. Each pinned stamp is a committed prefix of its
+// shard's serialized history, exactly as in-process; a Barrier with
+// writers quiet makes the pinned vector the exact global graph. Read
+// replicas are fed by WAL tail shipping (every committed record
+// streams to subscribers before it is acknowledged) and serve reads
+// addressed by WAL sequence number: a replica read returns a committed
+// prefix at least as fresh as the pinned stamp, and a replica that
+// lags the pin watermark refuses (rpc.FlagLagging) so the client falls
+// back to the primary. Exact-vector reads therefore always have the
+// primary path; replicas trade bounded staleness-above-the-pin for
+// query fan-out.
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// ErrLagging is wrapped by replica read errors that mean "behind the
+// requested sequence"; the client falls back to the primary.
+var ErrLagging = errors.New("remote: replica lagging")
+
+// ServerError is a remote-side failure relayed over an error frame.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "remote: server: " + e.Msg }
+
+// call is one in-flight request. onBody (if set) parses the success
+// response on the reader goroutine; onDone (if set) runs after the
+// outcome is known — both must be quick and non-blocking. done is
+// buffered so the reader never blocks delivering the outcome.
+type call struct {
+	done   chan error
+	onBody func(flags uint8, d *rpc.Body) error
+	onDone func(err error)
+}
+
+var callPool = sync.Pool{New: func() any {
+	return &call{done: make(chan error, 1)}
+}}
+
+// Conn is one multiplexed client connection to a shard server.
+// Requests are pipelined: the writer is serialized under mu, responses
+// are matched to calls by request id on a single reader goroutine, and
+// submit acks arrive whenever the remote commit completes. A broken
+// connection fails every in-flight call and redials on next use.
+type Conn struct {
+	addr     string
+	hello    helloInfo
+	dialWait time.Duration
+
+	mu  sync.Mutex // dial state + frame writer
+	nc  net.Conn
+	bw  *bufio.Writer
+	enc rpc.Encoder
+	gen uint64 // bumped per successful dial
+
+	pmu     sync.Mutex
+	pending map[uint64]*call
+	pgen    uint64 // generation the pending map belongs to
+	nextID  uint64
+}
+
+// helloInfo is the identity the client expects the server to confirm.
+type helloInfo struct {
+	shard    int
+	shards   int
+	weighted bool
+	width    int
+	role     uint8 // 0 primary, 1 replica
+}
+
+func newConn(addr string, hi helloInfo, dialWait time.Duration) *Conn {
+	return &Conn{addr: addr, hello: hi, dialWait: dialWait, pending: make(map[uint64]*call)}
+}
+
+// ensureLocked dials and handshakes if the connection is down. Called
+// with mu held. Retries the dial for up to dialWait so cluster
+// processes may come up in any order.
+func (c *Conn) ensureLocked() error {
+	if c.nc != nil {
+		return nil
+	}
+	deadline := time.Now().Add(c.dialWait)
+	var nc net.Conn
+	var err error
+	for {
+		nc, err = net.DialTimeout("tcp", c.addr, time.Second)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("remote: dial %s: %w", c.addr, err)
+	}
+	bw := bufio.NewWriterSize(nc, 1<<16)
+	if err := handshake(nc, bw, c.hello); err != nil {
+		nc.Close()
+		return fmt.Errorf("remote: handshake %s: %w", c.addr, err)
+	}
+	c.nc, c.bw = nc, bw
+	c.gen++
+	c.pmu.Lock()
+	c.pending = make(map[uint64]*call)
+	c.pgen = c.gen
+	c.pmu.Unlock()
+	go c.readLoop(nc, c.gen)
+	return nil
+}
+
+// handshake performs the Hello exchange synchronously on a fresh
+// connection, before the reader goroutine exists.
+func handshake(nc net.Conn, bw *bufio.Writer, hi helloInfo) error {
+	var enc rpc.Encoder
+	enc.Begin(rpc.VerbHello, 0, 0)
+	enc.U32(rpc.ProtoVersion)
+	enc.U32(uint32(hi.shard))
+	enc.U32(uint32(hi.shards))
+	if hi.weighted {
+		enc.U8(1)
+	} else {
+		enc.U8(0)
+	}
+	f, err := enc.Finish()
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(f); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	defer nc.SetReadDeadline(time.Time{})
+	m, err := rpc.NewReader(nc).Next()
+	if err != nil {
+		return err
+	}
+	if m.Flags&rpc.FlagErr != 0 {
+		return &ServerError{Msg: string(m.Body)}
+	}
+	d := rpc.NewBody(m.Body)
+	proto := d.U32()
+	shard := int(d.U32())
+	shards := int(d.U32())
+	weighted := d.U8() != 0
+	role := d.U8()
+	width := int(d.U8())
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if proto != rpc.ProtoVersion {
+		return fmt.Errorf("protocol version %d, want %d", proto, rpc.ProtoVersion)
+	}
+	if shard != hi.shard || shards != hi.shards {
+		return fmt.Errorf("server is shard %d/%d, want %d/%d", shard, shards, hi.shard, hi.shards)
+	}
+	if weighted != hi.weighted {
+		return fmt.Errorf("server weighted=%v, client weighted=%v", weighted, hi.weighted)
+	}
+	if role != hi.role {
+		return fmt.Errorf("server role %d, want %d", role, hi.role)
+	}
+	if width != hi.width {
+		return fmt.Errorf("server edge width %d, want %d", width, hi.width)
+	}
+	return nil
+}
+
+// readLoop matches response frames to in-flight calls until the
+// connection dies, then fails everything outstanding.
+func (c *Conn) readLoop(nc net.Conn, gen uint64) {
+	r := rpc.NewReader(bufio.NewReaderSize(nc, 1<<16))
+	for {
+		m, err := r.Next()
+		if err != nil {
+			c.fail(nc, gen, err)
+			return
+		}
+		if m.Flags&rpc.FlagResp == 0 {
+			c.fail(nc, gen, fmt.Errorf("remote: unexpected push frame verb %d", m.Verb))
+			return
+		}
+		c.pmu.Lock()
+		ca := c.pending[m.ReqID]
+		delete(c.pending, m.ReqID)
+		c.pmu.Unlock()
+		if ca == nil {
+			continue
+		}
+		var cerr error
+		switch {
+		case m.Flags&rpc.FlagErr != 0:
+			if m.Flags&rpc.FlagLagging != 0 {
+				cerr = fmt.Errorf("%w: %s", ErrLagging, string(m.Body))
+			} else {
+				cerr = &ServerError{Msg: string(m.Body)}
+			}
+		case ca.onBody != nil:
+			d := rpc.NewBody(m.Body)
+			cerr = ca.onBody(m.Flags, &d)
+			if cerr == nil {
+				cerr = d.Err()
+			}
+		}
+		if ca.onDone != nil {
+			ca.onDone(cerr)
+		}
+		ca.done <- cerr
+	}
+}
+
+// fail tears down one connection generation: every call that was in
+// flight on it errors out, and the next operation redials. The
+// generation check keeps a stale reader from touching calls that
+// belong to a newer connection.
+func (c *Conn) fail(nc net.Conn, gen uint64, err error) {
+	c.mu.Lock()
+	if c.gen == gen && c.nc == nc {
+		c.nc.Close()
+		c.nc, c.bw = nil, nil
+	}
+	c.mu.Unlock()
+	c.drainGen(gen, err)
+}
+
+// drainGen errors out every pending call of generation gen.
+func (c *Conn) drainGen(gen uint64, err error) {
+	c.pmu.Lock()
+	var stale map[uint64]*call
+	if c.pgen == gen {
+		stale = c.pending
+		c.pending = make(map[uint64]*call)
+	}
+	c.pmu.Unlock()
+	if len(stale) == 0 {
+		return
+	}
+	werr := fmt.Errorf("remote: %s: connection failed: %w", c.addr, err)
+	for _, ca := range stale {
+		if ca.onDone != nil {
+			ca.onDone(werr)
+		}
+		ca.done <- werr
+	}
+}
+
+// start registers ca, encodes one request frame and flushes it. On a
+// write error the call is unregistered and the error returned — the
+// caller must not wait on it.
+func (c *Conn) start(verb rpc.Verb, flags uint8, build func(e *rpc.Encoder), ca *call) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return err
+	}
+	gen := c.gen
+	c.pmu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ca
+	c.pmu.Unlock()
+	c.enc.Begin(verb, flags, id)
+	if build != nil {
+		build(&c.enc)
+	}
+	f, err := c.enc.Finish()
+	if err == nil {
+		if _, werr := c.bw.Write(f); werr != nil {
+			err = werr
+		} else {
+			err = c.bw.Flush()
+		}
+	}
+	if err != nil {
+		// The connection is unusable: earlier pipelined calls on it
+		// will never see responses either, so fail the generation.
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		c.nc.Close()
+		c.nc, c.bw = nil, nil
+		c.drainGen(gen, err)
+		return fmt.Errorf("remote: %s: write: %w", c.addr, err)
+	}
+	return nil
+}
+
+// roundTrip issues one request and blocks for its response. onBody
+// parses the success body (reader goroutine; must not block).
+func (c *Conn) roundTrip(verb rpc.Verb, flags uint8, build func(e *rpc.Encoder), onBody func(flags uint8, d *rpc.Body) error) error {
+	ca := callPool.Get().(*call)
+	ca.onBody, ca.onDone = onBody, nil
+	if err := c.start(verb, flags, build, ca); err != nil {
+		ca.onBody = nil
+		callPool.Put(ca)
+		return err
+	}
+	err := <-ca.done
+	ca.onBody = nil
+	callPool.Put(ca)
+	return err
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Conn) Close() {
+	c.mu.Lock()
+	nc, gen := c.nc, c.gen
+	c.mu.Unlock()
+	if nc != nil {
+		c.fail(nc, gen, errors.New("closed"))
+	}
+}

@@ -1,0 +1,470 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+
+	"repro/internal/aspen"
+	"repro/internal/ctree"
+	"repro/internal/ligra"
+	"repro/internal/rpc"
+	"repro/internal/stream"
+)
+
+// Read response chunking: one chunk stops after this many vertices or
+// once it has gathered at least this many edges, whichever comes
+// first, bounding the response frame well under rpc.MaxFrame.
+const (
+	maxReadVerts = 1 << 17
+	maxReadEdges = 1 << 20
+)
+
+// Server hosts one shard's engine behind the rpc frame protocol: the
+// process side of cmd/shardd. Submits are acknowledged only after the
+// remote commit (so an ack carries the same durability the engine's
+// fsync policy gives a local ack), reads serve pinned versions, and
+// tail subscriptions ship the WAL record stream to read replicas.
+type Server[G ligra.Graph, E any] struct {
+	eng      *stream.Engine[G, E]
+	codec    stream.Codec[E]
+	snap     stream.SnapshotCodec[G]
+	weighted bool
+	dir      string
+	shardID  int
+	shards   int
+	hub      *tailHub
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps an engine. dir is the engine's durable data
+// directory ("" disables tail subscriptions); the server registers the
+// engine's OnWALAppend observer, so it must be constructed before the
+// engine serves traffic.
+func NewServer[G ligra.Graph, E any](eng *stream.Engine[G, E], codec stream.Codec[E], snap stream.SnapshotCodec[G], weighted bool, dir string, shardID, shards int) *Server[G, E] {
+	s := &Server[G, E]{
+		eng:      eng,
+		codec:    codec,
+		snap:     snap,
+		weighted: weighted,
+		dir:      dir,
+		shardID:  shardID,
+		shards:   shards,
+		conns:    make(map[net.Conn]struct{}),
+	}
+	if dir != "" {
+		s.hub = newTailHub()
+		eng.OnWALAppend(s.hub.publish)
+	}
+	return s
+}
+
+// NewGraphServer wraps an unweighted durable engine.
+func NewGraphServer(eng *stream.Engine[aspen.Graph, aspen.Edge], p ctree.Params, dir string, shardID, shards int) *Server[aspen.Graph, aspen.Edge] {
+	return NewServer(eng, stream.EdgeCodec, stream.GraphSnapshotCodec(p), false, dir, shardID, shards)
+}
+
+// NewWeightedServer wraps a weighted durable engine.
+func NewWeightedServer(eng *stream.Engine[aspen.WeightedGraph, aspen.WeightedEdge], p ctree.Params, dir string, shardID, shards int) *Server[aspen.WeightedGraph, aspen.WeightedEdge] {
+	return NewServer(eng, stream.WeightedEdgeCodec, stream.WeightedSnapshotCodec(p), true, dir, shardID, shards)
+}
+
+// Serve accepts connections on ln until Close. Blocks.
+func (s *Server[G, E]) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("remote: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(nc)
+	}
+}
+
+// Close stops accepting, closes every connection (releasing its pins)
+// and waits for the handlers. The engine is not closed — its owner
+// decides when ingest stops.
+func (s *Server[G, E]) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// pinEntry refcounts one pinned version held on behalf of a client
+// connection; refs coalesce repeated pins of the same stamp.
+type pinEntry[G ligra.Graph] struct {
+	tx   stream.Tx[G]
+	refs int
+}
+
+// serverConn is per-connection handler state. The pins map is touched
+// only by the connection's reader goroutine; the frame writer is
+// shared with async submit/flush repliers under wmu.
+type serverConn[G ligra.Graph, E any] struct {
+	s    *Server[G, E]
+	nc   net.Conn
+	done chan struct{} // closed on connection teardown; stops tail streams
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	enc  rpc.Encoder
+	pins map[uint64]*pinEntry[G]
+}
+
+func (s *Server[G, E]) handle(nc net.Conn) {
+	defer s.wg.Done()
+	sc := &serverConn[G, E]{
+		s:    s,
+		nc:   nc,
+		done: make(chan struct{}),
+		bw:   bufio.NewWriterSize(nc, 1<<16),
+		pins: make(map[uint64]*pinEntry[G]),
+	}
+	defer func() {
+		close(sc.done)
+		nc.Close()
+		for _, p := range sc.pins {
+			p.tx.Close()
+		}
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+	r := rpc.NewReader(bufio.NewReaderSize(nc, 1<<16))
+	for {
+		m, err := r.Next()
+		if err != nil {
+			return
+		}
+		if err := sc.dispatch(m); err != nil {
+			return
+		}
+	}
+}
+
+// reply writes one response frame (thread-safe; async repliers share
+// the connection writer).
+func (sc *serverConn[G, E]) reply(verb rpc.Verb, flags uint8, id uint64, build func(e *rpc.Encoder)) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	sc.enc.Begin(verb, flags|rpc.FlagResp, id)
+	if build != nil {
+		build(&sc.enc)
+	}
+	f, err := sc.enc.Finish()
+	if err != nil {
+		return err
+	}
+	if _, err := sc.bw.Write(f); err != nil {
+		return err
+	}
+	return sc.bw.Flush()
+}
+
+// replyErr sends an error response.
+func (sc *serverConn[G, E]) replyErr(verb rpc.Verb, id uint64, flags uint8, msg string) error {
+	return sc.reply(verb, rpc.FlagErr|flags, id, func(e *rpc.Encoder) { e.String(msg) })
+}
+
+// dispatch handles one request frame. A returned error kills the
+// connection (protocol violations); per-request failures are relayed
+// as error responses instead.
+func (sc *serverConn[G, E]) dispatch(m rpc.Msg) error {
+	switch m.Verb {
+	case rpc.VerbHello:
+		return sc.handleHello(m)
+	case rpc.VerbSubmit:
+		return sc.handleSubmit(m)
+	case rpc.VerbFlush:
+		return sc.handleFlush(m)
+	case rpc.VerbPin:
+		return sc.handlePin(m)
+	case rpc.VerbRelease:
+		return sc.handleRelease(m)
+	case rpc.VerbRead:
+		return sc.handleRead(m)
+	case rpc.VerbStats:
+		return sc.handleStats(m)
+	case rpc.VerbTail:
+		return sc.handleTail(m)
+	default:
+		return sc.replyErr(m.Verb, m.ReqID, 0, fmt.Sprintf("unknown verb %d", m.Verb))
+	}
+}
+
+func (sc *serverConn[G, E]) handleHello(m rpc.Msg) error {
+	d := rpc.NewBody(m.Body)
+	proto := d.U32()
+	shard := int(d.U32())
+	shards := int(d.U32())
+	weighted := d.U8() != 0
+	if err := d.Err(); err != nil {
+		return sc.replyErr(m.Verb, m.ReqID, 0, err.Error())
+	}
+	if proto != rpc.ProtoVersion {
+		return sc.replyErr(m.Verb, m.ReqID, 0, fmt.Sprintf("protocol version %d, server speaks %d", proto, rpc.ProtoVersion))
+	}
+	if shard != sc.s.shardID || shards != sc.s.shards {
+		return sc.replyErr(m.Verb, m.ReqID, 0, fmt.Sprintf("this is shard %d/%d, client wants %d/%d", sc.s.shardID, sc.s.shards, shard, shards))
+	}
+	if weighted != sc.s.weighted {
+		return sc.replyErr(m.Verb, m.ReqID, 0, fmt.Sprintf("server weighted=%v, client weighted=%v", sc.s.weighted, weighted))
+	}
+	return sc.reply(m.Verb, 0, m.ReqID, func(e *rpc.Encoder) {
+		e.U32(rpc.ProtoVersion)
+		e.U32(uint32(sc.s.shardID))
+		e.U32(uint32(sc.s.shards))
+		if sc.s.weighted {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		e.U8(rolePrimary)
+		e.U8(uint8(sc.s.codec.Width))
+	})
+}
+
+func (sc *serverConn[G, E]) handleSubmit(m rpc.Msg) error {
+	d := rpc.NewBody(m.Body)
+	count := d.U32()
+	w := sc.s.codec.Width
+	payload := d.Bytes(int(count) * w)
+	if err := d.Err(); err != nil {
+		return sc.replyErr(m.Verb, m.ReqID, 0, err.Error())
+	}
+	if d.Len() != 0 {
+		return sc.replyErr(m.Verb, m.ReqID, 0, "trailing bytes in submit")
+	}
+	edges := make([]E, count)
+	for i := range edges {
+		edges[i] = sc.s.codec.Decode(payload[i*w:])
+	}
+	var p stream.Pending
+	var err error
+	if m.Flags&rpc.FlagDel != 0 {
+		p, err = sc.s.eng.Delete(edges)
+	} else {
+		p, err = sc.s.eng.Insert(edges)
+	}
+	if err != nil {
+		return sc.replyErr(m.Verb, m.ReqID, 0, err.Error())
+	}
+	// The ack is deferred until the batch commits: an acked submit is
+	// part of the shard's committed prefix (and durable, under the
+	// per-commit fsync policy) before the client ever sees the ack.
+	id := m.ReqID
+	verb := m.Verb
+	go func() {
+		stamp := p.Wait()
+		if stamp == 0 {
+			msg := "batch nacked"
+			if werr := sc.s.eng.Err(); werr != nil {
+				msg = werr.Error()
+			}
+			sc.replyErr(verb, id, 0, msg)
+			return
+		}
+		sc.reply(verb, 0, id, func(e *rpc.Encoder) { e.U64(stamp) })
+	}()
+	return nil
+}
+
+func (sc *serverConn[G, E]) handleFlush(m rpc.Msg) error {
+	// Prior submits on this connection were enqueued by this reader
+	// goroutine before we got here, so the engine flush covers them.
+	id := m.ReqID
+	verb := m.Verb
+	go func() {
+		stamp, err := sc.s.eng.Flush()
+		if err != nil {
+			sc.replyErr(verb, id, 0, err.Error())
+			return
+		}
+		seq := sc.s.eng.WALSeq()
+		sc.reply(verb, 0, id, func(e *rpc.Encoder) {
+			e.U64(stamp)
+			e.U64(seq)
+		})
+	}()
+	return nil
+}
+
+func (sc *serverConn[G, E]) handlePin(m rpc.Msg) error {
+	tx := sc.s.eng.Begin()
+	stamp := tx.Stamp()
+	if ent, ok := sc.pins[stamp]; ok {
+		ent.refs++
+		tx.Close()
+	} else {
+		sc.pins[stamp] = &pinEntry[G]{tx: tx, refs: 1}
+	}
+	seq := sc.s.eng.WALSeq()
+	return sc.reply(m.Verb, 0, m.ReqID, func(e *rpc.Encoder) {
+		e.U64(stamp)
+		e.U64(seq)
+	})
+}
+
+func (sc *serverConn[G, E]) handleRelease(m rpc.Msg) error {
+	d := rpc.NewBody(m.Body)
+	stamp := d.U64()
+	if err := d.Err(); err != nil {
+		return sc.replyErr(m.Verb, m.ReqID, 0, err.Error())
+	}
+	ent, ok := sc.pins[stamp]
+	if !ok {
+		return sc.replyErr(m.Verb, m.ReqID, 0, fmt.Sprintf("stamp %d not pinned", stamp))
+	}
+	ent.refs--
+	if ent.refs == 0 {
+		ent.tx.Close()
+		delete(sc.pins, stamp)
+	}
+	return sc.reply(m.Verb, 0, m.ReqID, nil)
+}
+
+func (sc *serverConn[G, E]) handleRead(m rpc.Msg) error {
+	d := rpc.NewBody(m.Body)
+	ref := d.U64()
+	lo := d.U32()
+	if err := d.Err(); err != nil {
+		return sc.replyErr(m.Verb, m.ReqID, 0, err.Error())
+	}
+	if m.Flags&rpc.FlagBySeq != 0 {
+		return sc.replyErr(m.Verb, m.ReqID, 0, "by-seq reads are served by replicas")
+	}
+	ent, ok := sc.pins[ref]
+	if !ok {
+		return sc.replyErr(m.Verb, m.ReqID, 0, fmt.Sprintf("stamp %d not pinned on this connection", ref))
+	}
+	return sc.reply(m.Verb, 0, m.ReqID, func(e *rpc.Encoder) {
+		encodeRange(e, ent.tx.Flat(), sc.s.weighted, lo)
+	})
+}
+
+func (sc *serverConn[G, E]) handleStats(m rpc.Msg) error {
+	raw, err := json.Marshal(sc.s.eng.Stats())
+	if err != nil {
+		return sc.replyErr(m.Verb, m.ReqID, 0, err.Error())
+	}
+	return sc.reply(m.Verb, 0, m.ReqID, func(e *rpc.Encoder) { e.Bytes(raw) })
+}
+
+// encodeRange appends one Read response body: the chunk of g starting
+// at vertex lo, bounded by maxReadVerts/maxReadEdges with at least one
+// vertex of progress.
+//
+//	[order u32][m u64][n u32][edges u64][degs n*u32][nbrs edges*u32][wts edges*f32?]
+func encodeRange(e *rpc.Encoder, g ligra.Graph, weighted bool, lo uint32) {
+	order := g.Order()
+	var degs []int32
+	if fg, ok := g.(ligra.FlatGraph); ok {
+		degs = fg.Degrees()
+	}
+	degOf := func(u uint32) uint32 {
+		if degs != nil {
+			if int(u) < len(degs) {
+				return uint32(degs[u])
+			}
+			return 0
+		}
+		return uint32(g.Degree(u))
+	}
+	n := uint32(0)
+	edges := uint64(0)
+	for u := uint64(lo); u < uint64(order); u++ {
+		if n >= maxReadVerts || edges >= maxReadEdges {
+			break
+		}
+		edges += uint64(degOf(uint32(u)))
+		n++
+	}
+	e.U32(uint32(order))
+	e.U64(g.NumEdges())
+	e.U32(n)
+	e.U64(edges)
+	for u := lo; u < lo+n; u++ {
+		e.U32(degOf(u))
+	}
+	// One Reserve for both arrays: a second Reserve could reallocate
+	// the frame buffer and invalidate the first slice.
+	total := int(edges) * 4
+	if weighted {
+		total *= 2
+	}
+	buf := e.Reserve(total)
+	nbuf := buf[:int(edges)*4]
+	var wbuf []byte
+	if weighted {
+		wbuf = buf[int(edges)*4:]
+	}
+	i, lim := 0, int(edges)
+	if weighted {
+		wg := g.(ligra.WeightedGraph)
+		for u := lo; u < lo+n; u++ {
+			wg.ForEachNeighborW(u, func(w uint32, wt float32) bool {
+				if i >= lim {
+					return false
+				}
+				binary.LittleEndian.PutUint32(nbuf[i*4:], w)
+				binary.LittleEndian.PutUint32(wbuf[i*4:], math.Float32bits(wt))
+				i++
+				return true
+			})
+		}
+	} else {
+		for u := lo; u < lo+n; u++ {
+			g.ForEachNeighbor(u, func(w uint32) bool {
+				if i >= lim {
+					return false
+				}
+				binary.LittleEndian.PutUint32(nbuf[i*4:], w)
+				i++
+				return true
+			})
+		}
+	}
+}

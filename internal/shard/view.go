@@ -193,6 +193,16 @@ func stitchFlat(part Partitioner, views []ligra.Graph) ligra.Graph {
 	return wrapWeighted(fv, views)
 }
 
+// StitchViews assembles the global flat view from per-shard views under
+// part's ownership — the same stitch the in-process Tx.Flat performs,
+// exported so a remote cluster client can stitch views it fetched over
+// the wire. Views must answer as complete per-shard snapshots (Order,
+// NumEdges, Degree, ForEachNeighbor over owned vertices); the result is
+// a FlatWeightedView when every view satisfies ligra.WeightedGraph.
+func StitchViews(part Partitioner, views []ligra.Graph) ligra.Graph {
+	return stitchFlat(part, views)
+}
+
 // wrapWeighted returns the view as FlatWeightedView when every shard view
 // carries weights, else as-is.
 func wrapWeighted(fv *FlatView, views []ligra.Graph) ligra.Graph {

@@ -210,6 +210,7 @@ type durable[G ligra.Graph, E any] struct {
 
 	scratch   []byte
 	sinceCkpt int
+	onAppend  func(seq uint64, kind wal.Kind, width uint8, count uint32, data []byte)
 
 	ckptCh    chan ckptReq[G]
 	stopSync  chan struct{}
@@ -248,8 +249,12 @@ func (d *durable[G, E]) logRuns(runs []run[E]) error {
 		if r.del {
 			kind = wal.Delete
 		}
-		if _, err := d.log.Append(kind, uint8(w), uint32(len(r.edges)), buf); err != nil {
+		seq, err := d.log.Append(kind, uint8(w), uint32(len(r.edges)), buf)
+		if err != nil {
 			return err
+		}
+		if d.onAppend != nil {
+			d.onAppend(seq, kind, uint8(w), uint32(len(r.edges)), buf)
 		}
 	}
 	if d.opts.Policy == SyncEveryCommit {
@@ -417,6 +422,31 @@ func (e *Engine[G, E]) SyncWAL() error {
 	return nil
 }
 
+// OnWALAppend registers fn to observe every WAL record as it is
+// appended on the commit path, before the commit is acknowledged —
+// the feed a replication tail ships to read replicas. fn runs on the
+// ingest goroutine and data aliases the engine's scratch buffer:
+// observers must copy what they keep and return quickly. Like
+// OnCommit, it must be registered before the engine serves traffic.
+// No-op without durability.
+func (e *Engine[G, E]) OnWALAppend(fn func(seq uint64, kind wal.Kind, width uint8, count uint32, data []byte)) {
+	if e.dur != nil {
+		e.dur.onAppend = fn
+	}
+}
+
+// WALSeq returns the sequence number of the last WAL record appended
+// (0 with an empty log or without durability). Because it is read
+// outside the ingest goroutine it may overestimate the state any
+// pinned version reflects — safe for replica read watermarks, where
+// an overestimate only forces a primary fallback, never a stale read.
+func (e *Engine[G, E]) WALSeq() uint64 {
+	if e.dur == nil {
+		return 0
+	}
+	return e.dur.log.NextSeq() - 1
+}
+
 // WALStats returns the log's counters (zero without durability).
 func (e *Engine[G, E]) WALStats() wal.Stats {
 	if e.dur == nil {
@@ -526,6 +556,37 @@ func Load[G ligra.Graph, E any](dir string, g0 G, insert, remove func(G, []E) G,
 		return g0, 0, err
 	}
 	return g, last, nil
+}
+
+// LoadCheckpoint reads the newest valid checkpoint in dir (falling
+// back past corrupt files like Load) without touching the WAL. It
+// returns the snapshot and the exact WAL sequence number it covers —
+// the pair a tail subscriber needs to bootstrap when its resume point
+// predates the oldest retained WAL record. ok is false when the
+// directory holds no readable checkpoint (resume from seq 0 instead).
+func LoadCheckpoint[G any](dir string, sc SnapshotCodec[G]) (g G, seq uint64, ok bool, err error) {
+	cks, err := listCheckpoints(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return g, 0, false, nil
+		}
+		return g, 0, false, err
+	}
+	for i := len(cks) - 1; i >= 0; i-- {
+		f, oerr := os.Open(cks[i].path)
+		if oerr != nil {
+			return g, 0, false, oerr
+		}
+		loaded, rerr := sc.Read(f)
+		f.Close()
+		if rerr == nil {
+			return loaded, cks[i].seq, true, nil
+		}
+		if !errors.Is(rerr, graphio.ErrCorrupt) {
+			return g, 0, false, rerr
+		}
+	}
+	return g, 0, false, nil
 }
 
 // Recover opens (or creates) a durable engine on d.Dir: load the newest

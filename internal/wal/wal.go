@@ -422,6 +422,26 @@ func (l *Log) Stats() Stats {
 	}
 }
 
+// OldestSeq returns the first sequence number still covered by dir's
+// on-disk segments (the oldest segment's header firstSeq), or 0 when
+// the directory holds no segments. Replay(dir, after, ...) can only
+// produce a gap-free stream when after+1 >= OldestSeq; callers that
+// resume from an older point (a lagging tail subscriber after
+// checkpoint truncation) must bootstrap from a snapshot instead.
+func OldestSeq(dir string) (uint64, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	return segs[0].first, nil
+}
+
 type segment struct {
 	path  string
 	first uint64
