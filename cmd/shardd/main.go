@@ -56,6 +56,9 @@ func run(args []string, stdout io.Writer) error {
 		coalesce  = fs.Int("coalesce", 32, "max batches folded into one commit")
 		replicaOf = fs.String("replica-of", "", "run as a read replica tailing this primary address instead of a primary")
 		ring      = fs.Int("ring", 0, "replica: retained (seq, graph) states for exact-seq reads (0 = default)")
+		promote   = fs.Duration("promote-after", 0, "replica: promote to accepting primary after this much sustained primary loss (0 = never)")
+		dialTO    = fs.Duration("dial-timeout", 0, "replica: one dial attempt's timeout (0 = default 1s)")
+		dedupWin  = fs.Int("dedup-window", 0, "exactly-once window: retried submits within the last N client seqs are acked, not re-applied (0 = default 4096)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,12 +80,13 @@ func run(args []string, stdout io.Writer) error {
 		role := "replica"
 		fmt.Fprintf(stdout, "shardd: shard %d/%d %s of %s listening on %s\n",
 			*shardID, *shards, role, *replicaOf, ln.Addr())
+		ro := remote.Options{PromoteAfter: *promote, DialTimeout: *dialTO, DedupWindow: *dedupWin}
 		if *weighted {
-			r := remote.NewWeightedReplica(*replicaOf, p, *shardID, *shards, *ring)
+			r := remote.NewWeightedReplica(*replicaOf, p, *shardID, *shards, *ring, ro)
 			go func() { <-sigs; r.Close() }()
 			return r.Serve(ln)
 		}
-		r := remote.NewGraphReplica(*replicaOf, p, *shardID, *shards, *ring)
+		r := remote.NewGraphReplica(*replicaOf, p, *shardID, *shards, *ring, ro)
 		go func() { <-sigs; r.Close() }()
 		return r.Serve(ln)
 	}
@@ -96,11 +100,16 @@ func run(args []string, stdout io.Writer) error {
 		ln.Close()
 		return err
 	}
+	// The dedup window is rebuilt from the WAL's idempotency notes
+	// before the server takes traffic, so a submit retried across a
+	// crash-restart is still answered from the window, not re-applied.
+	win := remote.NewDedup(*dedupWin)
 	dur := stream.Durability{
 		Dir:             *dataDir,
 		Policy:          pol,
 		Interval:        *fsyncInt,
 		CheckpointEvery: *ckptEvery,
+		OnReplayNote:    win.Observe,
 	}
 	opts := stream.Options{QueueCap: *queueCap, MaxCoalesce: *coalesce}
 
@@ -112,6 +121,7 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("recover %s: %w", *dataDir, err)
 		}
 		srv := remote.NewWeightedServer(eng, p, *dataDir, *shardID, *shards)
+		srv.SetDedup(win)
 		return servePrimary(stdout, ln, sigs, srv.Serve, srv.Close, eng, t0, *shardID, *shards)
 	}
 	eng, err := stream.RecoverGraphEngine(p, opts, dur)
@@ -120,6 +130,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("recover %s: %w", *dataDir, err)
 	}
 	srv := remote.NewGraphServer(eng, p, *dataDir, *shardID, *shards)
+	srv.SetDedup(win)
 	return servePrimary(stdout, ln, sigs, srv.Serve, srv.Close, eng, t0, *shardID, *shards)
 }
 

@@ -6,12 +6,14 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"slices"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/aspen"
+	"repro/internal/ctree"
 	"repro/internal/shard"
 	"repro/internal/shard/remote"
 	"repro/internal/xhash"
@@ -186,6 +188,135 @@ func TestClusterKillRecover(t *testing.T) {
 			if !found {
 				t.Fatalf("acked batch %d: edge %d->%d missing after kill+recover", i, e.Src, e.Dst)
 			}
+		}
+	}
+}
+
+// killBatch is the deterministic mixed insert/delete stream of the
+// retried-submit kill test: every fourth batch deletes, so a batch
+// applied twice (an insert replayed after a later delete) changes the
+// final edge set and fails the differential check.
+func killBatch(i int) (del bool, edges []aspen.Edge) {
+	rng := xhash.NewRNG(uint64(7000 + i))
+	edges = make([]aspen.Edge, 0, 40)
+	for j := 0; j < 40; j++ {
+		u, v := rng.Uint32()%512, rng.Uint32()%512
+		if u != v {
+			edges = append(edges, aspen.Edge{Src: u, Dst: v})
+		}
+	}
+	return i%4 == 3, edges
+}
+
+// TestKillDuringRetriedSubmit SIGKILLs a durable shardd while a burst of
+// pipelined submits is in flight, restarts it on the same directory and
+// address, and requires every submit to succeed exactly once: the client
+// retries across the crash, the recovered server replays its WAL
+// idempotency notes, and retried batches that committed before the kill
+// are acked as duplicates instead of re-applied. The mixed
+// insert/delete stream makes any double-apply visible in the final
+// graph, which must equal a reference applying each batch once.
+func TestKillDuringRetriedSubmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	p := startShard(t, "-shard 0 -shards 1 -addr 127.0.0.1:0 -data "+dir+" -fsync per-commit")
+	part := shard.NewRangePartitioner(1, 512)
+	c, err := remote.DialGraph(part, []string{p.addr}, nil, remote.Options{
+		DialWait:        15 * time.Second,
+		RetryDeadline:   60 * time.Second,
+		Backoff:         remote.Backoff{Base: 2 * time.Millisecond, Max: 25 * time.Millisecond},
+		BreakerCooldown: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const batches = 40
+	submit := func(i int) *remote.Pending {
+		del, edges := killBatch(i)
+		var pend *remote.Pending
+		var err error
+		if del {
+			pend, err = c.Delete(edges)
+		} else {
+			pend, err = c.Insert(edges)
+		}
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		return pend
+	}
+
+	// Pipeline the first 30 batches without waiting — with
+	// fsync-per-commit the server falls behind immediately, so the kill
+	// lands with most of them unacked (committed-but-unacked ones are
+	// exactly the retries the dedup window must absorb).
+	pendings := make([]*remote.Pending, 0, batches)
+	for i := 0; i < 30; i++ {
+		pendings = append(pendings, submit(i))
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.cmd.Wait()
+
+	// Restart on the same directory and address; WAL replay re-observes
+	// the idempotency notes before the listener comes back up.
+	p2 := startShard(t, fmt.Sprintf(
+		"-shard 0 -shards 1 -addr %s -data %s -fsync per-commit", p.addr, dir))
+	if p2.addr != p.addr {
+		t.Fatalf("restart bound %s, want %s", p2.addr, p.addr)
+	}
+	for i := 30; i < batches; i++ {
+		pendings = append(pendings, submit(i))
+	}
+	for i, pend := range pendings {
+		if err := pend.Wait(); err != nil {
+			t.Fatalf("batch %d never committed across the kill: %v", i, err)
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.Retries == 0 {
+		t.Fatal("no submit was retried — the kill missed the in-flight window")
+	}
+	t.Logf("retries=%d dedup_acks=%d breaker_opens=%d", st.Retries, st.DedupAcks, st.BreakerOpens)
+
+	tx, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	flat, err := tx.Flat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := aspen.NewGraph(ctree.DefaultParams())
+	for i := 0; i < batches; i++ {
+		if del, edges := killBatch(i); del {
+			ref = ref.DeleteEdges(edges)
+		} else {
+			ref = ref.InsertEdges(edges)
+		}
+	}
+	if flat.Order() != ref.Order() {
+		t.Fatalf("Order = %d, want %d", flat.Order(), ref.Order())
+	}
+	if flat.NumEdges() != ref.NumEdges() {
+		t.Fatalf("NumEdges = %d, want %d (exactly-once violated)", flat.NumEdges(), ref.NumEdges())
+	}
+	for u := 0; u < ref.Order(); u++ {
+		var want, got []uint32
+		ref.ForEachNeighbor(uint32(u), func(w uint32) bool { want = append(want, w); return true })
+		flat.ForEachNeighbor(uint32(u), func(w uint32) bool { got = append(got, w); return true })
+		if !slices.Equal(got, want) {
+			t.Fatalf("neighbors of %d differ after kill+retry: got %v want %v", u, got, want)
 		}
 	}
 }

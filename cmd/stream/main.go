@@ -42,6 +42,7 @@ import (
 	"repro/internal/ligra"
 	"repro/internal/rmat"
 	"repro/internal/shard"
+	"repro/internal/shard/remote"
 	"repro/internal/stream"
 	"repro/internal/xhash"
 )
@@ -67,6 +68,10 @@ func main() {
 		shards   = flag.String("shards", "", "comma list of shard counts: run the PR-5 sharded-ingest sweep instead of the single-engine sweep (1 = plain engine baseline)")
 		connect  = flag.String("connect", "", "comma list of shardd primary addresses: drive a remote cluster (PR 8) instead of in-process engines")
 		readFrom = flag.String("read-from", "", "comma list of shardd replica addresses (one per -connect shard, empty entries allowed)")
+		dialTO   = flag.Duration("dial-timeout", 0, "remote: one dial attempt's timeout (0 = default 1s)")
+		rpcDL    = flag.Duration("rpc-deadline", 0, "remote: per-RPC response deadline (0 = default 10s, negative disables)")
+		retryDL  = flag.Duration("retry-deadline", 0, "remote: total retry budget per submit before its error surfaces (0 = default 2m)")
+		maxStale = flag.Duration("max-stale", 0, "remote: when a shard is fully unreachable, serve its last cached view if at most this old (0 = fail the read instead)")
 		partKind = flag.String("partition", "range", "shard partitioner: range or hash")
 		priority = flag.Int("priority", 0, "priority-lane threshold in edges (0 disables the small-batch lane)")
 		quick    = flag.Bool("quick", false, "tiny smoke-test configuration")
@@ -161,12 +166,18 @@ func main() {
 		if *shards != "" || *dataDir != "" {
 			fatal("-connect drives remote shardd processes; -shards/-data do not apply")
 		}
-		runRemote(ctx, cfg, *connect, *readFrom, readerCounts, *duration,
+		ro := remote.Options{
+			DialTimeout:   *dialTO,
+			RPCDeadline:   *rpcDL,
+			RetryDeadline: *retryDL,
+			MaxStaleness:  *maxStale,
+		}
+		runRemote(ctx, cfg, *connect, *readFrom, ro, readerCounts, *duration,
 			time.Duration(cfg.IntervalNS), *jsonOut, *jsonTag, *mergeIn)
 		return
 	}
-	if *readFrom != "" {
-		fatal("-read-from requires -connect")
+	if *readFrom != "" || *dialTO != 0 || *rpcDL != 0 || *retryDL != 0 || *maxStale != 0 {
+		fatal("-read-from/-dial-timeout/-rpc-deadline/-retry-deadline/-max-stale require -connect")
 	}
 
 	if *shards != "" {

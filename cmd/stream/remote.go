@@ -43,7 +43,7 @@ func persistentSchedule[E any](inner func(i uint64) (bool, []E)) func(i uint64) 
 
 // runRemote drives the remote sweep: reader counts × {saturated, paced
 // when -interval is set} against one dialed cluster.
-func runRemote(ctx context.Context, cfg config, connect, readFrom string,
+func runRemote(ctx context.Context, cfg config, connect, readFrom string, ro remote.Options,
 	readerCounts []int, d, interval time.Duration, jsonOut, jsonTag, mergeIn string) {
 	primaries := splitAddrs(connect)
 	var replicas []string
@@ -60,7 +60,7 @@ func runRemote(ctx context.Context, cfg config, connect, readFrom string,
 	var oneRun func(readers int, pace time.Duration) remote.Report
 	var closeC func()
 	if cfg.Weighted {
-		c, err := remote.DialWeighted(part, primaries, replicas, remote.Options{})
+		c, err := remote.DialWeighted(part, primaries, replicas, ro)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -75,7 +75,7 @@ func runRemote(ctx context.Context, cfg config, connect, readFrom string,
 			return w.Run()
 		}
 	} else {
-		c, err := remote.DialGraph(part, primaries, replicas, remote.Options{})
+		c, err := remote.DialGraph(part, primaries, replicas, ro)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -143,6 +143,12 @@ func printRemoteRun(name string, r remote.Report) {
 		fmt.Printf(", %d replica reads, %d primary fallbacks", cs.ReplicaReads, cs.PrimaryFallbacks)
 	}
 	fmt.Println()
+	if cs.Retries+cs.DedupAcks+cs.BreakerOpens+cs.BreakerFastFails+cs.RPCTimeouts+
+		cs.Failovers+cs.Promotions+cs.DegradedPins+cs.StaleReads > 0 {
+		fmt.Printf("faults: %d retries, %d dedup acks, %d breaker opens (%d fast fails), %d rpc timeouts, %d failovers, %d promotions, %d degraded pins, %d stale reads\n",
+			cs.Retries, cs.DedupAcks, cs.BreakerOpens, cs.BreakerFastFails, cs.RPCTimeouts,
+			cs.Failovers, cs.Promotions, cs.DegradedPins, cs.StaleReads)
+	}
 	fmt.Printf("versions: final stamps %v\n", r.FinalStamps)
 }
 

@@ -1,0 +1,174 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistrySkipAndTimes(t *testing.T) {
+	var r Registry
+	if err := r.Hit("x"); err != nil {
+		t.Fatalf("unarmed hit: %v", err)
+	}
+	r.Set("x", 2, 3, nil)
+	for i := 0; i < 2; i++ {
+		if err := r.Hit("x"); err != nil {
+			t.Fatalf("skip hit %d fired: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := r.Hit("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("armed hit %d: %v", i, err)
+		}
+	}
+	if err := r.Hit("x"); err != nil {
+		t.Fatalf("exhausted point fired: %v", err)
+	}
+	if err := r.Hit("other"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+}
+
+func TestRegistryForeverAndClear(t *testing.T) {
+	var r Registry
+	want := errors.New("boom")
+	r.Set("y", 0, -1, want)
+	for i := 0; i < 10; i++ {
+		if err := r.Hit("y"); !errors.Is(err, want) {
+			t.Fatalf("forever hit %d: %v", i, err)
+		}
+	}
+	r.Clear("y")
+	if err := r.Hit("y"); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+	if r.armed.Load() != 0 {
+		t.Fatalf("armed count %d after clear", r.armed.Load())
+	}
+}
+
+// echoListener accepts connections and copies every byte back.
+func echoListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(nc, nc); nc.Close() }()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func dialVia(t *testing.T, tr *Transport, addr string) net.Conn {
+	t.Helper()
+	nc, err := tr.Dialer(nil)("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+func TestTransportEchoAndDuplicate(t *testing.T) {
+	ln := echoListener(t)
+	tr := NewTransport()
+	nc := dialVia(t, tr, ln.Addr().String())
+	defer nc.Close()
+
+	msg := []byte("hello")
+	if _, err := nc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(nc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("echo %q, want %q", buf, msg)
+	}
+
+	tr.DuplicateNext(1)
+	if _, err := nc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	dup := make([]byte, 2*len(msg))
+	if _, err := io.ReadFull(nc, dup); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dup, append(append([]byte(nil), msg...), msg...)) {
+		t.Fatalf("duplicated echo %q", dup)
+	}
+}
+
+func TestTransportDropKillsConn(t *testing.T) {
+	ln := echoListener(t)
+	tr := NewTransport()
+	nc := dialVia(t, tr, ln.Addr().String())
+	defer nc.Close()
+
+	tr.DropNext(1)
+	if _, err := nc.Write([]byte("lost")); err != nil {
+		t.Fatalf("dropped write must report success, got %v", err)
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("conn survived a dropped write")
+	}
+	if _, drops, _, _ := tr.Stats(); drops != 1 {
+		t.Fatalf("drops = %d, want 1", drops)
+	}
+}
+
+func TestTransportPartition(t *testing.T) {
+	ln := echoListener(t)
+	tr := NewTransport()
+	nc := dialVia(t, tr, ln.Addr().String())
+	defer nc.Close()
+
+	tr.Partition(true)
+	if _, err := tr.Dialer(nil)("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial succeeded during partition")
+	}
+	nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := nc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("live conn survived the partition")
+	}
+	tr.Partition(false)
+	nc2 := dialVia(t, tr, ln.Addr().String())
+	nc2.Close()
+}
+
+func TestTransportConcurrentFaults(t *testing.T) {
+	ln := echoListener(t)
+	tr := NewTransport()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			nc, err := tr.Dialer(nil)("tcp", ln.Addr().String(), time.Second)
+			if err != nil {
+				return
+			}
+			nc.Write([]byte("x"))
+			nc.Close()
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		tr.DropNext(1)
+		tr.KillAll()
+	}
+	wg.Wait()
+}

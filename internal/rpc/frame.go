@@ -57,6 +57,10 @@ const (
 	// VerbTailSnap is a snapshot bootstrap for a tail subscriber whose
 	// resume point predates the oldest retained WAL record.
 	VerbTailSnap Verb = 10
+	// VerbHealth is the liveness/role probe: the response carries the
+	// endpoint's role (primary / replica / promoted replica), its latest
+	// commit stamp and its WAL-seq watermark. Cheap enough to poll.
+	VerbHealth Verb = 11
 )
 
 // Frame flag bits.
@@ -74,6 +78,12 @@ const (
 	// the requested sequence" — the client should fall back to the
 	// primary rather than fail the read.
 	FlagLagging uint8 = 1 << 4
+	// FlagDeduped marks a VerbSubmit ack that was answered from the
+	// server's per-client dedup window: the batch was already part of
+	// the committed prefix (a retry after a lost ack) and was not
+	// re-applied. The body carries a stamp at or above the original
+	// commit's, exactly as binding as a first-attempt ack.
+	FlagDeduped uint8 = 1 << 5
 )
 
 const (
@@ -86,7 +96,9 @@ const (
 	MaxFrame = 1 << 26
 
 	// ProtoVersion is bumped on any incompatible wire change.
-	ProtoVersion = 1
+	// v2: VerbSubmit bodies lead with a (clientID u64, clientSeq u64)
+	// idempotency note; VerbHealth added.
+	ProtoVersion = 2
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

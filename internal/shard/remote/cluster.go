@@ -1,6 +1,9 @@
 package remote
 
 import (
+	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -18,26 +21,6 @@ import (
 // into several pipelined frames (the engine coalesces them back).
 const maxSubmitEdges = 1 << 20
 
-// Options tunes the cluster client.
-type Options struct {
-	// MaxInFlight bounds pipelined Submit frames per shard connection
-	// (backpressure, mirroring the engine's bounded queue). Default 256.
-	MaxInFlight int
-	// DialWait is how long an op retries dialing a down shard before
-	// failing (lets cluster processes start in any order). Default 5s.
-	DialWait time.Duration
-}
-
-func (o Options) withDefaults() Options {
-	if o.MaxInFlight <= 0 {
-		o.MaxInFlight = 256
-	}
-	if o.DialWait <= 0 {
-		o.DialWait = 5 * time.Second
-	}
-	return o
-}
-
 // Cluster is the client half of the distributed shard layer: the same
 // facade as the in-process shard.Cluster, speaking rpc frames to one
 // primary (and optionally one read replica) per shard.
@@ -46,9 +29,16 @@ type Cluster[E any] struct {
 	codec    stream.Codec[E]
 	srcOf    func(E) uint32
 	weighted bool
+	opts     Options
+	clientID uint64
 	prim     []*Conn
 	repl     []*Conn // nil entry: no replica for that shard
+	send     []*sender
+	subSeq   []atomic.Uint64 // per-shard client seq (contiguous per shard)
 	sems     []chan struct{}
+	nstat    *netCounters
+	stop     chan struct{}
+	stopOnce sync.Once
 
 	txPool sync.Pool
 
@@ -65,11 +55,14 @@ type Cluster[E any] struct {
 
 type cachedView struct {
 	stamp uint64
+	seq   uint64
+	at    time.Time
 	view  ligra.Graph
 }
 
 type stitchSlot struct {
 	stamps []uint64
+	seqs   []uint64
 	flat   ligra.Graph
 }
 
@@ -85,25 +78,41 @@ func Dial[E any](part shard.Partitioner, primaries, replicas []string, codec str
 	if replicas != nil && len(replicas) != part.Shards() {
 		return nil, fmt.Errorf("remote: %d replica addresses for %d shards", len(replicas), part.Shards())
 	}
+	var idb [8]byte
+	if _, err := crand.Read(idb[:]); err != nil {
+		return nil, fmt.Errorf("remote: client id: %w", err)
+	}
 	c := &Cluster[E]{
 		part:     part,
 		codec:    codec,
 		srcOf:    srcOf,
 		weighted: weighted,
+		opts:     o,
+		clientID: binary.LittleEndian.Uint64(idb[:]) | 1, // 0 is the no-dedup sentinel
 		prim:     make([]*Conn, part.Shards()),
 		repl:     make([]*Conn, part.Shards()),
+		send:     make([]*sender, part.Shards()),
+		subSeq:   make([]atomic.Uint64, part.Shards()),
 		sems:     make([]chan struct{}, part.Shards()),
+		nstat:    &netCounters{},
+		stop:     make(chan struct{}),
 		views:    make([]cachedView, part.Shards()),
 	}
+	anyReplica := false
 	for s := range c.prim {
 		hi := helloInfo{shard: s, shards: part.Shards(), weighted: weighted, width: codec.Width, role: rolePrimary}
-		c.prim[s] = newConn(primaries[s], hi, o.DialWait)
+		c.prim[s] = newConn(primaries[s], hi, o, c.nstat)
 		if replicas != nil && replicas[s] != "" {
 			rhi := hi
 			rhi.role = roleReplica
-			c.repl[s] = newConn(replicas[s], rhi, o.DialWait)
+			c.repl[s] = newConn(replicas[s], rhi, o, c.nstat)
+			anyReplica = true
 		}
+		c.send[s] = newSender(c.prim[s], c.repl[s], o, c.nstat)
 		c.sems[s] = make(chan struct{}, o.MaxInFlight)
+	}
+	if anyReplica {
+		go c.prober()
 	}
 	return c, nil
 }
@@ -123,6 +132,42 @@ func (c *Cluster[E]) Shards() int { return len(c.prim) }
 
 // Partitioner returns the cluster's vertex partitioner.
 func (c *Cluster[E]) Partitioner() shard.Partitioner { return c.part }
+
+// prober watches down primaries that have a replica: when the replica
+// reports it has promoted itself, the shard's submit stream fails over
+// to it.
+func (c *Cluster[E]) prober() {
+	t := time.NewTicker(c.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for s, pc := range c.prim {
+			rc := c.repl[s]
+			if rc == nil || c.send[s].hasFailedOver() || pc.state() != epDown {
+				continue
+			}
+			c.nstat.probes.Add(1)
+			role, _, _, err := rc.health()
+			if err != nil || role != rolePromoted {
+				continue
+			}
+			c.nstat.promotions.Add(1)
+			if c.send[s].failover() {
+				c.nstat.failovers.Add(1)
+			}
+		}
+	}
+}
+
+func (s *sender) hasFailedOver() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failedOver
+}
 
 // Pending tracks one logical batch across the shards (and frames) it
 // was split into. Wait blocks until every remote commit acknowledged
@@ -155,13 +200,30 @@ func (p *Pending) Wait() error {
 // Insert routes a batch of edge insertions and pipelines each
 // sub-batch to its shard's primary. Pipelined: the call returns once
 // every frame is written (or backpressure admits it), with commit acks
-// collected by the returned Pending.
-func (c *Cluster[E]) Insert(edges []E) (*Pending, error) { return c.submit(false, edges) }
+// collected by the returned Pending. Transport failures are retried
+// with backoff under the clients' exactly-once (clientID, seq) notes;
+// only a server refusal or an exhausted retry budget surfaces.
+func (c *Cluster[E]) Insert(edges []E) (*Pending, error) {
+	return c.submit(context.Background(), false, edges)
+}
 
 // Delete routes a batch of edge deletions.
-func (c *Cluster[E]) Delete(edges []E) (*Pending, error) { return c.submit(true, edges) }
+func (c *Cluster[E]) Delete(edges []E) (*Pending, error) {
+	return c.submit(context.Background(), true, edges)
+}
 
-func (c *Cluster[E]) submit(del bool, edges []E) (*Pending, error) {
+// InsertCtx is Insert with cancellation: ctx aborts waiting for
+// backpressure admission and expires queued retries early.
+func (c *Cluster[E]) InsertCtx(ctx context.Context, edges []E) (*Pending, error) {
+	return c.submit(ctx, false, edges)
+}
+
+// DeleteCtx is Delete with cancellation.
+func (c *Cluster[E]) DeleteCtx(ctx context.Context, edges []E) (*Pending, error) {
+	return c.submit(ctx, true, edges)
+}
+
+func (c *Cluster[E]) submit(ctx context.Context, del bool, edges []E) (*Pending, error) {
 	parts := shard.Route(c.part, edges, c.srcOf)
 	p := &Pending{}
 	var firstErr error
@@ -172,7 +234,7 @@ func (c *Cluster[E]) submit(del bool, edges []E) (*Pending, error) {
 				chunk = chunk[:maxSubmitEdges]
 			}
 			sub = sub[len(chunk):]
-			ca, err := c.submitChunk(s, del, chunk)
+			ca, err := c.submitChunk(ctx, s, del, chunk)
 			if err != nil {
 				firstErr = err
 				break
@@ -184,7 +246,7 @@ func (c *Cluster[E]) submit(del bool, edges []E) (*Pending, error) {
 		}
 	}
 	if firstErr != nil {
-		// Frames already written stay in flight; their acks are still
+		// Frames already queued stay in flight; their acks are still
 		// collected so counters and backpressure stay correct.
 		p.Wait()
 		return p, firstErr
@@ -192,13 +254,26 @@ func (c *Cluster[E]) submit(del bool, edges []E) (*Pending, error) {
 	return p, nil
 }
 
-// submitChunk writes one Submit frame for shard s and returns its
-// in-flight call. Blocks while the shard's in-flight window is full.
-func (c *Cluster[E]) submitChunk(s int, del bool, chunk []E) (*call, error) {
+// submitChunk allocates the chunk's (clientID, seq) identity, hands it
+// to the shard's retry sender and returns the in-flight call. Blocks
+// while the shard's in-flight window is full. The seq is fixed here,
+// so every retransmission of this chunk is the same submit to the
+// server's dedup window.
+func (c *Cluster[E]) submitChunk(ctx context.Context, s int, del bool, chunk []E) (*call, error) {
 	sem := c.sems[s]
-	sem <- struct{}{}
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	n := uint64(len(chunk))
 	ca := &call{done: make(chan error, 1)}
+	ca.onBody = func(flags uint8, d *rpc.Body) error {
+		if flags&rpc.FlagDeduped != 0 {
+			c.nstat.dedupAcks.Add(1)
+		}
+		return nil
+	}
 	ca.onDone = func(err error) {
 		<-sem
 		if err != nil {
@@ -213,53 +288,59 @@ func (c *Cluster[E]) submitChunk(s int, del bool, chunk []E) (*call, error) {
 		flags = rpc.FlagDel
 	}
 	w := c.codec.Width
-	err := c.prim[s].start(rpc.VerbSubmit, flags, func(e *rpc.Encoder) {
-		e.U32(uint32(len(chunk)))
-		buf := e.Reserve(w * len(chunk))
-		for i, ed := range chunk {
-			c.codec.Encode(buf[i*w:], ed)
-		}
-	}, ca)
-	if err != nil {
-		<-sem
-		c.submitErrs.Add(1)
-		return nil, err
+	cid, cseq := c.clientID, c.subSeq[s].Add(1)
+	rec := &sendRec{
+		s:     c.send[s],
+		verb:  rpc.VerbSubmit,
+		flags: flags,
+		build: func(e *rpc.Encoder) {
+			e.U64(cid)
+			e.U64(cseq)
+			e.U32(uint32(len(chunk)))
+			buf := e.Reserve(w * len(chunk))
+			for i, ed := range chunk {
+				c.codec.Encode(buf[i*w:], ed)
+			}
+		},
+		ca:          ca,
+		cancel:      ctx.Done(),
+		ackDeadline: c.opts.SubmitAckDeadline,
+		expiry:      time.Now().Add(c.opts.RetryDeadline),
 	}
+	ca.rec = rec
+	c.send[s].enqueue(rec)
 	return ca, nil
 }
 
 // FlushAll flushes every shard concurrently and returns the resulting
-// version vector of commit stamps.
+// version vector of commit stamps. Flushes ride the same per-shard
+// retry queue as submits, so a flush never reorders ahead of a queued
+// batch and survives connection churn.
 func (c *Cluster[E]) FlushAll() ([]uint64, error) {
 	stamps := make([]uint64, len(c.prim))
 	calls := make([]*call, len(c.prim))
-	var firstErr error
 	for s := range c.prim {
 		s := s
-		ca := callPool.Get().(*call)
+		ca := &call{done: make(chan error, 1)}
 		ca.onBody = func(_ uint8, d *rpc.Body) error {
 			stamps[s] = d.U64()
 			d.U64() // seq watermark, unused here
 			return nil
 		}
-		if err := c.prim[s].start(rpc.VerbFlush, 0, nil, ca); err != nil {
-			ca.onBody = nil
-			callPool.Put(ca)
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+		rec := &sendRec{
+			s:           c.send[s],
+			verb:        rpc.VerbFlush,
+			ca:          ca,
+			ackDeadline: c.opts.SubmitAckDeadline,
+			expiry:      time.Now().Add(c.opts.RetryDeadline),
 		}
+		ca.rec = rec
+		c.send[s].enqueue(rec)
 		calls[s] = ca
 	}
+	var firstErr error
 	for _, ca := range calls {
-		if ca == nil {
-			continue
-		}
-		err := <-ca.done
-		ca.onBody = nil
-		callPool.Put(ca)
-		if err != nil && firstErr == nil {
+		if err := <-ca.done; err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -276,6 +357,10 @@ func (c *Cluster[E]) Barrier() error {
 // Close tears down every connection. Server-side pins held by them are
 // released by the servers' connection teardown.
 func (c *Cluster[E]) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	for _, sn := range c.send {
+		sn.close()
+	}
 	for _, cn := range c.prim {
 		cn.Close()
 	}
@@ -286,8 +371,9 @@ func (c *Cluster[E]) Close() {
 	}
 }
 
-// Stats are the client-observed counters: acked ingest volume and the
-// read-path cache/fallback behavior. Server-side engine counters come
+// Stats are the client-observed counters: acked ingest volume, the
+// read-path cache/fallback behavior, and the resilience layer's
+// retry/breaker/failover transitions. Server-side engine counters come
 // from ShardStats.
 type Stats struct {
 	Shards           int    `json:"shards"`
@@ -302,6 +388,17 @@ type Stats struct {
 	StitchHits       uint64 `json:"stitch_hits"`
 	ReplicaReads     uint64 `json:"replica_reads,omitempty"`
 	PrimaryFallbacks uint64 `json:"primary_fallbacks,omitempty"`
+	Retries          uint64 `json:"retries,omitempty"`
+	DedupAcks        uint64 `json:"dedup_acks,omitempty"`
+	BreakerOpens     uint64 `json:"breaker_opens,omitempty"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails,omitempty"`
+	Suspects         uint64 `json:"suspects,omitempty"`
+	RPCTimeouts      uint64 `json:"rpc_timeouts,omitempty"`
+	Failovers        uint64 `json:"failovers,omitempty"`
+	Promotions       uint64 `json:"promotions,omitempty"`
+	DegradedPins     uint64 `json:"degraded_pins,omitempty"`
+	StaleReads       uint64 `json:"stale_reads,omitempty"`
+	HealthProbes     uint64 `json:"health_probes,omitempty"`
 }
 
 // Stats returns the client-side counters.
@@ -319,6 +416,17 @@ func (c *Cluster[E]) Stats() Stats {
 		StitchHits:       c.stitchHits.Load(),
 		ReplicaReads:     c.replicaReads.Load(),
 		PrimaryFallbacks: c.primaryFallbacks.Load(),
+		Retries:          c.nstat.retries.Load(),
+		DedupAcks:        c.nstat.dedupAcks.Load(),
+		BreakerOpens:     c.nstat.breakerOpens.Load(),
+		BreakerFastFails: c.nstat.breakerFastFails.Load(),
+		Suspects:         c.nstat.suspects.Load(),
+		RPCTimeouts:      c.nstat.timeouts.Load(),
+		Failovers:        c.nstat.failovers.Load(),
+		Promotions:       c.nstat.promotions.Load(),
+		DegradedPins:     c.nstat.degradedPins.Load(),
+		StaleReads:       c.nstat.staleReads.Load(),
+		HealthProbes:     c.nstat.probes.Load(),
 	}
 }
 
@@ -338,18 +446,24 @@ func (c *Cluster[E]) ShardStats() ([]stream.Stats, error) {
 }
 
 // Tx is a pinned cross-shard read transaction: stamps is the version
-// vector (one committed prefix per shard), seqs the per-shard WAL
-// watermarks replica reads are addressed by.
+// vector (one committed prefix per shard; 0 means the shard is pinned
+// on a replica and addressed purely by seq), seqs the per-shard WAL
+// watermarks replica reads are addressed by. pinned records which
+// connection holds each shard's pin (nil: stale cached view, nothing
+// to release).
 type Tx[E any] struct {
 	c      *Cluster[E]
 	stamps []uint64
 	seqs   []uint64
-	pinned []bool
+	pinned []*Conn
 	open   bool
 }
 
 // Begin pins the latest version on every shard and returns the
-// transaction. One Pin round trip per shard, pipelined.
+// transaction. One Pin round trip per shard, pipelined. A shard whose
+// primary is unreachable degrades down the ladder: replica pin
+// (fresh-at-pin-time bounded staleness), then — with Options.
+// MaxStaleness set — the shard's last cached view if recent enough.
 func (c *Cluster[E]) Begin() (*Tx[E], error) {
 	tx, _ := c.txPool.Get().(*Tx[E])
 	if tx == nil {
@@ -357,15 +471,14 @@ func (c *Cluster[E]) Begin() (*Tx[E], error) {
 			c:      c,
 			stamps: make([]uint64, len(c.prim)),
 			seqs:   make([]uint64, len(c.prim)),
-			pinned: make([]bool, len(c.prim)),
+			pinned: make([]*Conn, len(c.prim)),
 		}
 	}
 	tx.open = true
 	for s := range tx.pinned {
-		tx.stamps[s], tx.seqs[s], tx.pinned[s] = 0, 0, false
+		tx.stamps[s], tx.seqs[s], tx.pinned[s] = 0, 0, nil
 	}
 	calls := make([]*call, len(c.prim))
-	var firstErr error
 	for s := range c.prim {
 		s := s
 		ca := callPool.Get().(*call)
@@ -374,29 +487,31 @@ func (c *Cluster[E]) Begin() (*Tx[E], error) {
 			tx.seqs[s] = d.U64()
 			return nil
 		}
+		ca.deadline = 0
+		if c.opts.RPCDeadline > 0 {
+			ca.deadline = time.Now().Add(c.opts.RPCDeadline).UnixNano()
+		}
 		if err := c.prim[s].start(rpc.VerbPin, 0, nil, ca); err != nil {
 			ca.onBody = nil
 			callPool.Put(ca)
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
+			continue // fall back below
 		}
 		calls[s] = ca
 	}
+	var firstErr error
 	for s, ca := range calls {
-		if ca == nil {
-			continue
-		}
-		err := <-ca.done
-		ca.onBody = nil
-		callPool.Put(ca)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+		var err error
+		if ca != nil {
+			err = <-ca.done
+			ca.onBody = nil
+			callPool.Put(ca)
+			if err == nil {
+				tx.pinned[s] = c.prim[s]
+				continue
 			}
-		} else {
-			tx.pinned[s] = true
+		}
+		if ferr := c.pinFallback(tx, s); ferr != nil && firstErr == nil {
+			firstErr = ferr
 		}
 	}
 	c.pins.Add(uint64(len(c.prim)))
@@ -407,6 +522,37 @@ func (c *Cluster[E]) Begin() (*Tx[E], error) {
 		return nil, firstErr
 	}
 	return tx, nil
+}
+
+// pinFallback pins shard s through the degradation ladder after its
+// primary refused: a replica pin if the shard has a live replica, then
+// a bounded-stale cached view under Options.MaxStaleness.
+func (c *Cluster[E]) pinFallback(tx *Tx[E], s int) error {
+	if rc := c.repl[s]; rc != nil {
+		var stamp, seq uint64
+		err := rc.roundTrip(rpc.VerbPin, 0, nil, func(_ uint8, d *rpc.Body) error {
+			stamp = d.U64()
+			seq = d.U64()
+			return nil
+		})
+		if err == nil {
+			tx.stamps[s], tx.seqs[s] = stamp, seq
+			tx.pinned[s] = rc
+			c.nstat.degradedPins.Add(1)
+			return nil
+		}
+	}
+	if c.opts.MaxStaleness > 0 {
+		c.vmu.Lock()
+		cv := c.views[s]
+		c.vmu.Unlock()
+		if cv.view != nil && time.Since(cv.at) <= c.opts.MaxStaleness {
+			tx.stamps[s], tx.seqs[s] = cv.stamp, cv.seq
+			c.nstat.staleReads.Add(1)
+			return nil
+		}
+	}
+	return fmt.Errorf("remote: shard %d unreachable and no degraded fallback", s)
 }
 
 // Stamps returns the pinned version vector. Valid until Close.
@@ -435,16 +581,16 @@ func (t *Tx[E]) Close() {
 }
 
 func (t *Tx[E]) releasePins() {
-	for s := range t.c.prim {
-		if !t.pinned[s] {
+	for s, pc := range t.pinned {
+		if pc == nil {
 			continue
 		}
-		t.pinned[s] = false
+		t.pinned[s] = nil
 		stamp := t.stamps[s]
 		// Fire-and-forget: a lost release is reclaimed by server-side
 		// connection teardown.
 		ca := &call{done: make(chan error, 1)}
-		_ = t.c.prim[s].start(rpc.VerbRelease, 0, func(e *rpc.Encoder) {
+		_ = pc.start(rpc.VerbRelease, 0, func(e *rpc.Encoder) {
 			e.U64(stamp)
 		}, ca)
 	}

@@ -1,0 +1,204 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+)
+
+// defaultDedupWindow is the per-client exactly-once window when the
+// owner does not size one explicitly.
+const defaultDedupWindow = 4096
+
+// dupVerdict classifies one (client, seq) submit against the window.
+type dupVerdict int
+
+const (
+	// dupNew: first sighting — apply it and complete/abort later.
+	dupNew dupVerdict = iota
+	// dupDone: already committed — ack with the recorded stamp.
+	dupDone
+	// dupInflight: a previous attempt is still committing — the waiter
+	// is registered and fires when it completes or aborts.
+	dupInflight
+	// dupFenced: the seq predates a promotion fence; the outcome of the
+	// original attempt is unknowable, so refuse rather than re-apply.
+	dupFenced
+	// dupEvicted: the seq fell out of the window (client retried
+	// something ancient); refuse rather than risk a re-apply.
+	dupEvicted
+)
+
+// dedupEntry is one remembered submit.
+type dedupEntry struct {
+	done    bool
+	stamp   uint64
+	waiters []func(stamp uint64, errMsg string)
+}
+
+// clientWindow is one client's slice of the table.
+type clientWindow struct {
+	entries map[uint64]*dedupEntry
+	floor   uint64 // lowest seq still answerable; seqs below were evicted
+	maxSeq  uint64 // highest completed seq
+	fence   uint64 // seqs at or below are refused (promotion fence)
+}
+
+// Dedup is the per-client exactly-once window a shard server (or a
+// promoted replica) consults before applying a submit. Completed
+// entries are journaled implicitly: the engine tags each noted batch's
+// WAL record with (client, seq), and recovery replays them back in via
+// Observe, so a retry that arrives after a crash-restart still dedups.
+//
+// Seqs are expected to be contiguous per (client, shard) — the cluster
+// client allocates them from a per-shard counter — which keeps eviction
+// a simple floor advance.
+type Dedup struct {
+	mu      sync.Mutex
+	window  uint64
+	clients map[uint64]*clientWindow
+}
+
+// NewDedup returns a table remembering the last window completed seqs
+// per client (<=0 selects the default, 4096).
+func NewDedup(window int) *Dedup {
+	if window <= 0 {
+		window = defaultDedupWindow
+	}
+	return &Dedup{window: uint64(window), clients: make(map[uint64]*clientWindow)}
+}
+
+func (d *Dedup) client(cid uint64) *clientWindow {
+	cw := d.clients[cid]
+	if cw == nil {
+		cw = &clientWindow{entries: make(map[uint64]*dedupEntry), floor: 1}
+		d.clients[cid] = cw
+	}
+	return cw
+}
+
+// begin classifies (cid, cseq). dupNew registers an in-flight entry the
+// caller must later complete or abort. For dupDone the recorded stamp
+// is returned (0 when the entry was journal-replayed and the true stamp
+// is unknown — callers substitute a current stamp, which is at or above
+// the original commit's and exactly as binding). For dupInflight the
+// waiter is registered and fires exactly once from complete or abort.
+func (d *Dedup) begin(cid, cseq uint64, waiter func(stamp uint64, errMsg string)) (dupVerdict, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cw := d.client(cid)
+	if e := cw.entries[cseq]; e != nil {
+		if e.done {
+			return dupDone, e.stamp
+		}
+		if waiter != nil {
+			e.waiters = append(e.waiters, waiter)
+		}
+		return dupInflight, 0
+	}
+	if cseq <= cw.fence {
+		return dupFenced, 0
+	}
+	if cseq < cw.floor {
+		return dupEvicted, 0
+	}
+	cw.entries[cseq] = &dedupEntry{}
+	return dupNew, 0
+}
+
+// complete records cseq's commit stamp, wakes duplicate waiters and
+// evicts entries that fell out of the window (stopping at an in-flight
+// entry so an unresolved attempt is never forgotten).
+func (d *Dedup) complete(cid, cseq, stamp uint64) {
+	d.mu.Lock()
+	cw := d.client(cid)
+	e := cw.entries[cseq]
+	if e == nil {
+		e = &dedupEntry{}
+		cw.entries[cseq] = e
+	}
+	waiters := e.waiters
+	e.waiters = nil
+	e.done = true
+	e.stamp = stamp
+	if cseq > cw.maxSeq {
+		cw.maxSeq = cseq
+	}
+	for cw.maxSeq > d.window && cw.floor <= cw.maxSeq-d.window {
+		if e := cw.entries[cw.floor]; e != nil && !e.done {
+			break
+		}
+		delete(cw.entries, cw.floor)
+		cw.floor++
+	}
+	d.mu.Unlock()
+	for _, w := range waiters {
+		w(stamp, "")
+	}
+}
+
+// abort forgets an in-flight cseq (the submit was refused before
+// commit) and fails its duplicate waiters; a later retry is dupNew.
+func (d *Dedup) abort(cid, cseq uint64, msg string) {
+	d.mu.Lock()
+	cw := d.client(cid)
+	e := cw.entries[cseq]
+	var waiters []func(uint64, string)
+	if e != nil && !e.done {
+		waiters = e.waiters
+		delete(cw.entries, cseq)
+	}
+	d.mu.Unlock()
+	for _, w := range waiters {
+		w(0, msg)
+	}
+}
+
+// Observe records (client, seq) as committed with an unknown stamp.
+// It is the journal-replay hook (stream.Durability.OnReplayNote) and
+// the replica tail's way of shadowing the primary's window.
+func (d *Dedup) Observe(client, seq uint64) {
+	if client == 0 {
+		return
+	}
+	d.complete(client, seq, 0)
+}
+
+// fenceAll, called at replica promotion, fences every known client at
+// its highest completed seq: in-flight seqs at the dead primary are
+// unknowable here, so retries of anything at or below the fence are
+// refused instead of risking a second apply.
+func (d *Dedup) fenceAll() {
+	d.mu.Lock()
+	for _, cw := range d.clients {
+		if cw.maxSeq > cw.fence {
+			cw.fence = cw.maxSeq
+		}
+		for seq, e := range cw.entries {
+			if !e.done {
+				// Promotion on a replica: nothing is actually in flight
+				// locally, but be safe against misuse.
+				for _, w := range e.waiters {
+					go w(0, "fenced by promotion")
+				}
+				delete(cw.entries, seq)
+			}
+		}
+	}
+	d.mu.Unlock()
+}
+
+func (v dupVerdict) String() string {
+	switch v {
+	case dupNew:
+		return "new"
+	case dupDone:
+		return "done"
+	case dupInflight:
+		return "inflight"
+	case dupFenced:
+		return "fenced"
+	case dupEvicted:
+		return "evicted"
+	}
+	return fmt.Sprintf("dupVerdict(%d)", int(v))
+}

@@ -27,6 +27,7 @@ type testServer struct {
 	eng  *stream.Engine[aspen.Graph, aspen.Edge]
 	srv  *Server[aspen.Graph, aspen.Edge]
 	addr string
+	dir  string // WAL dir when durable
 }
 
 // startServers brings up one shard server per shard of part. durable
@@ -55,7 +56,7 @@ func startServers(t *testing.T, part shard.Partitioner, durable bool) ([]*testSe
 			t.Fatal(err)
 		}
 		go srv.Serve(ln)
-		ts := &testServer{eng: eng, srv: srv, addr: ln.Addr().String()}
+		ts := &testServer{eng: eng, srv: srv, addr: ln.Addr().String(), dir: dir}
 		servers[s] = ts
 		addrs[s] = ts.addr
 		t.Cleanup(func() {
@@ -361,7 +362,7 @@ func TestReplicaServesReads(t *testing.T) {
 	part := shard.NewRangePartitioner(1, 1<<20)
 	servers, addrs := startServers(t, part, true)
 
-	repl := NewGraphReplica(addrs[0], testParams(), 0, 1, 0)
+	repl := NewGraphReplica(addrs[0], testParams(), 0, 1, 0, Options{})
 	rln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -426,7 +427,7 @@ func TestReplicaLagFallsBack(t *testing.T) {
 	_, addrs := startServers(t, part, true)
 
 	// A replica of an address nothing listens on: applied stays 0.
-	repl := NewGraphReplica("127.0.0.1:1", testParams(), 0, 1, 0)
+	repl := NewGraphReplica("127.0.0.1:1", testParams(), 0, 1, 0, Options{})
 	rln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -526,7 +527,7 @@ func TestReplicaSnapshotBootstrap(t *testing.T) {
 		t.Skip("log never truncated; cannot exercise the bootstrap path")
 	}
 
-	repl := NewGraphReplica(ln.Addr().String(), testParams(), 0, 1, 0)
+	repl := NewGraphReplica(ln.Addr().String(), testParams(), 0, 1, 0, Options{})
 	rln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

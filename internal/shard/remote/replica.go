@@ -3,6 +3,7 @@ package remote
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +40,12 @@ type seqState[G ligra.Graph] struct {
 // keeps nothing durable: on restart it re-tails from scratch
 // (bootstrapping from the primary's checkpoint when the log was
 // truncated).
+//
+// With Options.PromoteAfter set, a replica that loses its primary for
+// that long promotes itself: it fences the dedup window it shadowed
+// from the tail stream (outcomes in flight at the dead primary are
+// unknowable, so their retries are refused rather than re-applied) and
+// starts accepting submits, stamping each with its applied watermark.
 type Replica[G ligra.Graph, E any] struct {
 	primary  string
 	codec    stream.Codec[E]
@@ -48,6 +55,10 @@ type Replica[G ligra.Graph, E any] struct {
 	shardID  int
 	shards   int
 	ringCap  int
+	opts     Options
+	dedup    *Dedup
+
+	promoted atomic.Bool
 
 	smu     sync.Mutex
 	states  []seqState[G] // ascending seq; contiguous between snapshot jumps
@@ -63,15 +74,16 @@ type Replica[G ligra.Graph, E any] struct {
 	tailOnce sync.Once
 
 	records, snaps, resyncs atomic.Uint64
-	reads, lagging          atomic.Uint64
+	reads, lagging, submits atomic.Uint64
 }
 
 // NewReplica builds a replica of the shard primary at addr. ringCap
 // bounds retained states (<=0: default 512).
-func NewReplica[G ligra.Graph, E any](addr string, empty G, apply func(g G, del bool, edges []E) G, codec stream.Codec[E], snap stream.SnapshotCodec[G], weighted bool, shardID, shards, ringCap int) *Replica[G, E] {
+func NewReplica[G ligra.Graph, E any](addr string, empty G, apply func(g G, del bool, edges []E) G, codec stream.Codec[E], snap stream.SnapshotCodec[G], weighted bool, shardID, shards, ringCap int, o Options) *Replica[G, E] {
 	if ringCap <= 0 {
 		ringCap = defaultReplicaRing
 	}
+	o = o.withDefaults()
 	return &Replica[G, E]{
 		primary:  addr,
 		codec:    codec,
@@ -81,6 +93,8 @@ func NewReplica[G ligra.Graph, E any](addr string, empty G, apply func(g G, del 
 		shardID:  shardID,
 		shards:   shards,
 		ringCap:  ringCap,
+		opts:     o,
+		dedup:    NewDedup(o.DedupWindow),
 		cur:      empty,
 		conns:    make(map[net.Conn]struct{}),
 		stop:     make(chan struct{}),
@@ -88,25 +102,25 @@ func NewReplica[G ligra.Graph, E any](addr string, empty G, apply func(g G, del 
 }
 
 // NewGraphReplica builds an unweighted replica.
-func NewGraphReplica(addr string, p ctree.Params, shardID, shards, ringCap int) *Replica[aspen.Graph, aspen.Edge] {
+func NewGraphReplica(addr string, p ctree.Params, shardID, shards, ringCap int, o Options) *Replica[aspen.Graph, aspen.Edge] {
 	apply := func(g aspen.Graph, del bool, edges []aspen.Edge) aspen.Graph {
 		if del {
 			return g.DeleteEdges(edges)
 		}
 		return g.InsertEdges(edges)
 	}
-	return NewReplica(addr, aspen.NewGraph(p), apply, stream.EdgeCodec, stream.GraphSnapshotCodec(p), false, shardID, shards, ringCap)
+	return NewReplica(addr, aspen.NewGraph(p), apply, stream.EdgeCodec, stream.GraphSnapshotCodec(p), false, shardID, shards, ringCap, o)
 }
 
 // NewWeightedReplica builds a weighted replica.
-func NewWeightedReplica(addr string, p ctree.Params, shardID, shards, ringCap int) *Replica[aspen.WeightedGraph, aspen.WeightedEdge] {
+func NewWeightedReplica(addr string, p ctree.Params, shardID, shards, ringCap int, o Options) *Replica[aspen.WeightedGraph, aspen.WeightedEdge] {
 	apply := func(g aspen.WeightedGraph, del bool, edges []aspen.WeightedEdge) aspen.WeightedGraph {
 		if del {
 			return g.DeleteEdges(edges)
 		}
 		return g.InsertEdges(edges)
 	}
-	return NewReplica(addr, aspen.NewWeightedGraphWith(p), apply, stream.WeightedEdgeCodec, stream.WeightedSnapshotCodec(p), true, shardID, shards, ringCap)
+	return NewReplica(addr, aspen.NewWeightedGraphWith(p), apply, stream.WeightedEdgeCodec, stream.WeightedSnapshotCodec(p), true, shardID, shards, ringCap, o)
 }
 
 // Applied returns the highest WAL seq the replica has applied.
@@ -114,6 +128,17 @@ func (r *Replica[G, E]) Applied() uint64 {
 	r.smu.Lock()
 	defer r.smu.Unlock()
 	return r.applied
+}
+
+// Promoted reports whether the replica has assumed primary duty.
+func (r *Replica[G, E]) Promoted() bool { return r.promoted.Load() }
+
+// role is the identity the replica confirms in Hello and Health.
+func (r *Replica[G, E]) role() uint8 {
+	if r.promoted.Load() {
+		return rolePromoted
+	}
+	return roleReplica
 }
 
 // Serve starts the tail loop (once) and accepts read connections on ln
@@ -182,30 +207,56 @@ func (r *Replica[G, E]) isClosed() bool {
 }
 
 // tailLoop keeps one tail subscription alive against the primary,
-// redialing with backoff whenever the connection drops.
+// redialing with backoff whenever the connection drops. Sustained loss
+// with no tail progress for Options.PromoteAfter promotes the replica
+// (when enabled) and ends the loop — the primary is presumed dead.
 func (r *Replica[G, E]) tailLoop() {
 	defer r.wg.Done()
+	attempt := 0
+	var downSince time.Time
 	for {
 		if r.isClosed() {
 			return
 		}
-		if err := r.tailOnceConn(); err == nil || r.isClosed() {
+		before := r.Applied()
+		err := r.tailOnceConn()
+		if err == nil || r.isClosed() {
 			return
 		}
+		if r.Applied() > before || downSince.IsZero() {
+			// Progress this round (or first failure): restart the loss
+			// clock and the backoff ladder.
+			if r.Applied() > before {
+				attempt = 0
+			}
+			downSince = time.Now()
+		}
 		r.resyncs.Add(1)
+		if pa := r.opts.PromoteAfter; pa > 0 && time.Since(downSince) >= pa {
+			r.promote()
+			return
+		}
 		select {
 		case <-r.stop:
 			return
-		case <-time.After(200 * time.Millisecond):
+		case <-time.After(r.opts.Backoff.delay(attempt)):
 		}
+		attempt++
 	}
+}
+
+// promote fences the shadowed dedup window and switches the replica to
+// an accepting primary.
+func (r *Replica[G, E]) promote() {
+	r.dedup.fenceAll()
+	r.promoted.Store(true)
 }
 
 // tailOnceConn runs one tail subscription: dial, handshake, subscribe
 // after the applied watermark, then apply the pushed record stream
 // until the connection fails. Returns nil only on shutdown.
 func (r *Replica[G, E]) tailOnceConn() error {
-	nc, err := net.DialTimeout("tcp", r.primary, time.Second)
+	nc, err := r.opts.Dialer("tcp", r.primary, r.opts.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -222,7 +273,7 @@ func (r *Replica[G, E]) tailOnceConn() error {
 	}()
 	bw := bufio.NewWriterSize(nc, 1<<16)
 	hi := helloInfo{shard: r.shardID, shards: r.shards, weighted: r.weighted, width: r.codec.Width, role: rolePrimary}
-	if err := handshake(nc, bw, hi); err != nil {
+	if err := handshake(nc, bw, hi, r.opts.WriteTimeout); err != nil {
 		return err
 	}
 	var enc rpc.Encoder
@@ -277,13 +328,20 @@ func (r *Replica[G, E]) tailOnceConn() error {
 }
 
 // applyRec applies one shipped WAL record, retaining the new state.
+// Idempotency notes on Noted* records are shadowed into the replica's
+// dedup window, so a promotion can answer retried submits the dead
+// primary already committed.
 func (r *Replica[G, E]) applyRec(body []byte) error {
 	d := rpc.NewBody(body)
 	seq := d.U64()
 	kind := wal.Kind(d.U8())
 	width := int(d.U8())
 	count := d.U32()
-	payload := d.Bytes(int(count) * width)
+	plen := int(count) * width
+	if kind.HasNote() {
+		plen += wal.NoteLen
+	}
+	payload := d.Bytes(plen)
 	if err := d.Err(); err != nil {
 		return err
 	}
@@ -298,11 +356,15 @@ func (r *Replica[G, E]) applyRec(body []byte) error {
 	if r.applied != 0 && seq != r.applied+1 {
 		return fmt.Errorf("remote: tail gap: applied %d, got %d", r.applied, seq)
 	}
+	if kind.HasNote() {
+		r.dedup.Observe(binary.LittleEndian.Uint64(payload), binary.LittleEndian.Uint64(payload[8:]))
+		payload = payload[wal.NoteLen:]
+	}
 	edges := make([]E, count)
 	for i := range edges {
 		edges[i] = r.codec.Decode(payload[i*width:])
 	}
-	r.cur = r.apply(r.cur, kind == wal.Delete, edges)
+	r.cur = r.apply(r.cur, kind.IsDelete(), edges)
 	r.applied = seq
 	r.pushStateLocked(seq, r.cur)
 	r.records.Add(1)
@@ -381,6 +443,8 @@ type ReplicaStats struct {
 	Resyncs   uint64 `json:"resyncs,omitempty"`
 	Reads     uint64 `json:"reads"`
 	Lagging   uint64 `json:"lagging,omitempty"`
+	Promoted  bool   `json:"promoted,omitempty"`
+	Submits   uint64 `json:"submits,omitempty"`
 }
 
 // Stats returns the replica's counters.
@@ -396,10 +460,15 @@ func (r *Replica[G, E]) Stats() ReplicaStats {
 		Resyncs:   r.resyncs.Load(),
 		Reads:     r.reads.Load(),
 		Lagging:   r.lagging.Load(),
+		Promoted:  r.promoted.Load(),
+		Submits:   r.submits.Load(),
 	}
 }
 
-// handle serves one read connection: Hello, by-seq Reads, Stats.
+// handle serves one connection: Hello, by-seq Reads, Pin/Release,
+// Health, Stats — and, once promoted, Submit/Flush. The reply path is
+// mutexed because dedup waiters registered by duplicate submits may
+// fire from another connection's commit.
 func (r *Replica[G, E]) handle(nc net.Conn) {
 	defer r.wg.Done()
 	defer func() {
@@ -409,14 +478,20 @@ func (r *Replica[G, E]) handle(nc net.Conn) {
 		r.mu.Unlock()
 	}()
 	bw := bufio.NewWriterSize(nc, 1<<16)
+	var wmu sync.Mutex
 	var enc rpc.Encoder
 	reply := func(verb rpc.Verb, flags uint8, id uint64, build func(e *rpc.Encoder)) error {
+		wmu.Lock()
+		defer wmu.Unlock()
 		enc.Begin(verb, flags|rpc.FlagResp, id)
 		if build != nil {
 			build(&enc)
 		}
 		f, err := enc.Finish()
 		if err != nil {
+			return err
+		}
+		if err := nc.SetWriteDeadline(time.Now().Add(serverWriteTimeout)); err != nil {
 			return err
 		}
 		if _, err := bw.Write(f); err != nil {
@@ -426,6 +501,15 @@ func (r *Replica[G, E]) handle(nc net.Conn) {
 	}
 	replyErr := func(verb rpc.Verb, id uint64, flags uint8, msg string) error {
 		return reply(verb, rpc.FlagErr|flags, id, func(e *rpc.Encoder) { e.String(msg) })
+	}
+	replyDeduped := func(verb rpc.Verb, id uint64, stamp uint64) {
+		if stamp == 0 {
+			stamp = r.Applied()
+			if stamp == 0 {
+				stamp = 1
+			}
+		}
+		reply(verb, rpc.FlagDeduped, id, func(e *rpc.Encoder) { e.U64(stamp) })
 	}
 	rd := rpc.NewReader(bufio.NewReaderSize(nc, 1<<16))
 	for {
@@ -456,7 +540,7 @@ func (r *Replica[G, E]) handle(nc net.Conn) {
 					} else {
 						e.U8(0)
 					}
-					e.U8(roleReplica)
+					e.U8(r.role())
 					e.U8(uint8(r.codec.Width))
 				})
 			}
@@ -493,6 +577,63 @@ func (r *Replica[G, E]) handle(nc net.Conn) {
 			}) != nil {
 				return
 			}
+		case rpc.VerbPin:
+			// The replica holds no refcounted pins: the pinned state is
+			// whatever the ring retains at this seq. Stamp is zero while
+			// unpromoted (the read is addressed purely by seq) and the
+			// applied watermark once promoted (its stamp domain).
+			applied := r.Applied()
+			stamp := uint64(0)
+			if r.promoted.Load() {
+				stamp = applied
+			}
+			if reply(m.Verb, 0, m.ReqID, func(e *rpc.Encoder) {
+				e.U64(stamp)
+				e.U64(applied)
+			}) != nil {
+				return
+			}
+		case rpc.VerbRelease:
+			// Pins are not refcounted here; release is a courtesy no-op.
+			if reply(m.Verb, 0, m.ReqID, nil) != nil {
+				return
+			}
+		case rpc.VerbHealth:
+			applied := r.Applied()
+			if reply(m.Verb, 0, m.ReqID, func(e *rpc.Encoder) {
+				e.U8(r.role())
+				e.U64(applied)
+				e.U64(applied)
+			}) != nil {
+				return
+			}
+		case rpc.VerbSubmit:
+			if !r.promoted.Load() {
+				if replyErr(m.Verb, m.ReqID, 0, "replica not promoted; submits go to the primary") != nil {
+					return
+				}
+				continue
+			}
+			if err := r.handlePromotedSubmit(m, reply, replyErr, replyDeduped); err != nil {
+				return
+			}
+		case rpc.VerbFlush:
+			if !r.promoted.Load() {
+				if replyErr(m.Verb, m.ReqID, 0, "replica not promoted; flushes go to the primary") != nil {
+					return
+				}
+				continue
+			}
+			// Promoted submits apply synchronously on their reader
+			// goroutine, so everything this connection submitted before
+			// the flush is already applied.
+			applied := r.Applied()
+			if reply(m.Verb, 0, m.ReqID, func(e *rpc.Encoder) {
+				e.U64(applied)
+				e.U64(applied)
+			}) != nil {
+				return
+			}
 		case rpc.VerbStats:
 			raw, err := json.Marshal(r.Stats())
 			if err != nil {
@@ -510,4 +651,70 @@ func (r *Replica[G, E]) handle(nc net.Conn) {
 			}
 		}
 	}
+}
+
+// handlePromotedSubmit applies one submit on a promoted replica:
+// dedup-gated exactly like the primary, applied synchronously under
+// the state lock, stamped with the advanced watermark. Not durable —
+// the promoted replica is an availability bridge, and DESIGN.md's
+// failure model spells out that trade.
+func (r *Replica[G, E]) handlePromotedSubmit(
+	m rpc.Msg,
+	reply func(verb rpc.Verb, flags uint8, id uint64, build func(e *rpc.Encoder)) error,
+	replyErr func(verb rpc.Verb, id uint64, flags uint8, msg string) error,
+	replyDeduped func(verb rpc.Verb, id uint64, stamp uint64),
+) error {
+	d := rpc.NewBody(m.Body)
+	cid := d.U64()
+	cseq := d.U64()
+	count := d.U32()
+	w := r.codec.Width
+	payload := d.Bytes(int(count) * w)
+	if err := d.Err(); err != nil {
+		return replyErr(m.Verb, m.ReqID, 0, err.Error())
+	}
+	if d.Len() != 0 {
+		return replyErr(m.Verb, m.ReqID, 0, "trailing bytes in submit")
+	}
+	id := m.ReqID
+	verb := m.Verb
+	if cid != 0 {
+		resolved := make(chan struct{})
+		waiter := func(stamp uint64, errMsg string) {
+			defer close(resolved)
+			if errMsg != "" {
+				replyErr(verb, id, 0, errMsg)
+				return
+			}
+			replyDeduped(verb, id, stamp)
+		}
+		switch v, stamp := r.dedup.begin(cid, cseq, waiter); v {
+		case dupDone:
+			replyDeduped(verb, id, stamp)
+			return nil
+		case dupInflight:
+			// Same connection-churn FIFO guard as the primary's gate:
+			// hold this read loop until the original attempt resolves
+			// so later frames cannot be applied ahead of it.
+			<-resolved
+			return nil
+		case dupFenced, dupEvicted:
+			return replyErr(verb, id, 0, fmt.Sprintf("submit (client %d, seq %d) %s: original outcome unknown, refusing re-apply", cid, cseq, v))
+		}
+	}
+	edges := make([]E, count)
+	for i := range edges {
+		edges[i] = r.codec.Decode(payload[i*w:])
+	}
+	r.smu.Lock()
+	r.cur = r.apply(r.cur, m.Flags&rpc.FlagDel != 0, edges)
+	r.applied++
+	stamp := r.applied
+	r.pushStateLocked(stamp, r.cur)
+	r.smu.Unlock()
+	r.submits.Add(1)
+	if cid != 0 {
+		r.dedup.complete(cid, cseq, stamp)
+	}
+	return reply(verb, 0, id, func(e *rpc.Encoder) { e.U64(stamp) })
 }

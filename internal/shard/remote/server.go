@@ -9,13 +9,19 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/aspen"
 	"repro/internal/ctree"
+	"repro/internal/faults"
 	"repro/internal/ligra"
 	"repro/internal/rpc"
 	"repro/internal/stream"
 )
+
+// serverWriteTimeout bounds each response frame write so one client
+// that stops reading cannot wedge the connection's repliers.
+const serverWriteTimeout = 15 * time.Second
 
 // Read response chunking: one chunk stops after this many vertices or
 // once it has gathered at least this many edges, whichever comes
@@ -39,6 +45,7 @@ type Server[G ligra.Graph, E any] struct {
 	shardID  int
 	shards   int
 	hub      *tailHub
+	dedup    *Dedup
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -61,12 +68,23 @@ func NewServer[G ligra.Graph, E any](eng *stream.Engine[G, E], codec stream.Code
 		shardID:  shardID,
 		shards:   shards,
 		conns:    make(map[net.Conn]struct{}),
+		dedup:    NewDedup(0),
 	}
 	if dir != "" {
 		s.hub = newTailHub()
 		eng.OnWALAppend(s.hub.publish)
 	}
 	return s
+}
+
+// SetDedup swaps in an externally built dedup window — the one the
+// owner registered as stream.Durability.OnReplayNote before recovery,
+// so submits retried across a server restart still dedup. Call before
+// Serve.
+func (s *Server[G, E]) SetDedup(d *Dedup) {
+	if d != nil {
+		s.dedup = d
+	}
 }
 
 // NewGraphServer wraps an unweighted durable engine.
@@ -198,6 +216,9 @@ func (sc *serverConn[G, E]) reply(verb rpc.Verb, flags uint8, id uint64, build f
 	if err != nil {
 		return err
 	}
+	if err := sc.nc.SetWriteDeadline(time.Now().Add(serverWriteTimeout)); err != nil {
+		return err
+	}
 	if _, err := sc.bw.Write(f); err != nil {
 		return err
 	}
@@ -230,6 +251,8 @@ func (sc *serverConn[G, E]) dispatch(m rpc.Msg) error {
 		return sc.handleStats(m)
 	case rpc.VerbTail:
 		return sc.handleTail(m)
+	case rpc.VerbHealth:
+		return sc.handleHealth(m)
 	default:
 		return sc.replyErr(m.Verb, m.ReqID, 0, fmt.Sprintf("unknown verb %d", m.Verb))
 	}
@@ -269,6 +292,8 @@ func (sc *serverConn[G, E]) handleHello(m rpc.Msg) error {
 
 func (sc *serverConn[G, E]) handleSubmit(m rpc.Msg) error {
 	d := rpc.NewBody(m.Body)
+	cid := d.U64()
+	cseq := d.U64()
 	count := d.U32()
 	w := sc.s.codec.Width
 	payload := d.Bytes(int(count) * w)
@@ -278,25 +303,57 @@ func (sc *serverConn[G, E]) handleSubmit(m rpc.Msg) error {
 	if d.Len() != 0 {
 		return sc.replyErr(m.Verb, m.ReqID, 0, "trailing bytes in submit")
 	}
+	id := m.ReqID
+	verb := m.Verb
+	if cid != 0 {
+		// Exactly-once gate: a retransmit of a submit we already
+		// committed (or are committing) is answered from the window,
+		// never re-applied. The waiter may fire on this connection for
+		// a duplicate whose original attempt arrived on another.
+		resolved := make(chan struct{})
+		waiter := func(stamp uint64, errMsg string) {
+			defer close(resolved)
+			if errMsg != "" {
+				sc.replyErr(verb, id, 0, errMsg)
+				return
+			}
+			sc.replyDeduped(verb, id, stamp)
+		}
+		switch v, stamp := sc.s.dedup.begin(cid, cseq, waiter); v {
+		case dupDone:
+			sc.replyDeduped(verb, id, stamp)
+			return nil
+		case dupInflight:
+			// The original attempt is still committing — possibly on
+			// another connection whose kernel buffer the server is
+			// still draining. Block this read loop until it resolves,
+			// so a later frame on this connection cannot be applied
+			// ahead of it: the client's per-shard FIFO must survive
+			// connection churn.
+			<-resolved
+			return nil
+		case dupFenced, dupEvicted:
+			return sc.replyErr(verb, id, 0, fmt.Sprintf("submit (client %d, seq %d) %s: original outcome unknown, refusing re-apply", cid, cseq, v))
+		}
+	}
 	edges := make([]E, count)
 	for i := range edges {
 		edges[i] = sc.s.codec.Decode(payload[i*w:])
 	}
-	var p stream.Pending
-	var err error
-	if m.Flags&rpc.FlagDel != 0 {
-		p, err = sc.s.eng.Delete(edges)
-	} else {
-		p, err = sc.s.eng.Insert(edges)
+	var note stream.Note
+	if cid != 0 {
+		note = stream.Note{Client: cid, Seq: cseq}
 	}
+	p, err := sc.s.eng.SubmitNoted(m.Flags&rpc.FlagDel != 0, edges, note)
 	if err != nil {
-		return sc.replyErr(m.Verb, m.ReqID, 0, err.Error())
+		if cid != 0 {
+			sc.s.dedup.abort(cid, cseq, err.Error())
+		}
+		return sc.replyErr(verb, id, 0, err.Error())
 	}
 	// The ack is deferred until the batch commits: an acked submit is
 	// part of the shard's committed prefix (and durable, under the
 	// per-commit fsync policy) before the client ever sees the ack.
-	id := m.ReqID
-	verb := m.Verb
 	go func() {
 		stamp := p.Wait()
 		if stamp == 0 {
@@ -304,12 +361,45 @@ func (sc *serverConn[G, E]) handleSubmit(m rpc.Msg) error {
 			if werr := sc.s.eng.Err(); werr != nil {
 				msg = werr.Error()
 			}
+			if cid != 0 {
+				sc.s.dedup.abort(cid, cseq, msg)
+			}
 			sc.replyErr(verb, id, 0, msg)
+			return
+		}
+		if cid != 0 {
+			sc.s.dedup.complete(cid, cseq, stamp)
+		}
+		if faults.Hit("remote.submit.ack") != nil {
+			// Injected ack loss: the commit stands, the ack vanishes —
+			// the client's retry must be answered from the window.
+			sc.nc.Close()
 			return
 		}
 		sc.reply(verb, 0, id, func(e *rpc.Encoder) { e.U64(stamp) })
 	}()
 	return nil
+}
+
+// replyDeduped acks a duplicate submit from the dedup window. A
+// journal-replayed entry has no recorded stamp; the engine's current
+// stamp is at or above the original commit's and exactly as binding.
+func (sc *serverConn[G, E]) replyDeduped(verb rpc.Verb, id uint64, stamp uint64) {
+	if stamp == 0 {
+		stamp = sc.s.eng.Stamp()
+		if stamp == 0 {
+			stamp = 1
+		}
+	}
+	sc.reply(verb, rpc.FlagDeduped, id, func(e *rpc.Encoder) { e.U64(stamp) })
+}
+
+func (sc *serverConn[G, E]) handleHealth(m rpc.Msg) error {
+	return sc.reply(m.Verb, 0, m.ReqID, func(e *rpc.Encoder) {
+		e.U8(rolePrimary)
+		e.U64(sc.s.eng.Stamp())
+		e.U64(sc.s.eng.WALSeq())
+	})
 }
 
 func (sc *serverConn[G, E]) handleFlush(m rpc.Msg) error {

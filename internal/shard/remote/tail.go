@@ -202,7 +202,11 @@ func (sc *serverConn[G, E]) serveTail(id uint64, after uint64) {
 
 // sendTailRec pushes one WAL record frame:
 //
-//	[seq u64][kind u8][width u8][count u32][payload count*width]
+//	[seq u64][kind u8][width u8][count u32][payload]
+//
+// payload is count*width edge bytes, preceded by the wal.NoteLen
+// idempotency note for the Noted* kinds — replicas shadow those notes
+// into their own dedup window.
 func (sc *serverConn[G, E]) sendTailRec(id, seq uint64, kind wal.Kind, width uint8, count uint32, data []byte) error {
 	return sc.reply(rpc.VerbTailRec, 0, id, func(e *rpc.Encoder) {
 		e.U64(seq)

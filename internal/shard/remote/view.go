@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/ligra"
 	"repro/internal/rpc"
@@ -15,8 +16,9 @@ import (
 
 // Server roles confirmed in the Hello exchange.
 const (
-	rolePrimary uint8 = 0
-	roleReplica uint8 = 1
+	rolePrimary  uint8 = 0
+	roleReplica  uint8 = 1
+	rolePromoted uint8 = 2 // replica that assumed primary duty after sustained primary loss
 )
 
 // remoteView is one shard's flat snapshot assembled from fetched
@@ -146,8 +148,12 @@ func equalVec(a, b []uint64) bool {
 // whatever moved — replica first when one is configured, primary
 // fallback when the replica lags or is down.
 func (c *Cluster[E]) flatFor(stamps, seqs []uint64) (ligra.Graph, error) {
+	// Cache keys are the composite (stamp, seq): a degraded replica pin
+	// has stamp 0 and is identified purely by its WAL watermark, and a
+	// promoted replica's stamps live in a different domain than the old
+	// primary's, so neither vector alone is unique.
 	c.vmu.Lock()
-	if c.stitch.flat != nil && equalVec(c.stitch.stamps, stamps) {
+	if c.stitch.flat != nil && equalVec(c.stitch.stamps, stamps) && equalVec(c.stitch.seqs, seqs) {
 		flat := c.stitch.flat
 		c.vmu.Unlock()
 		c.stitchHits.Add(1)
@@ -162,7 +168,7 @@ func (c *Cluster[E]) flatFor(stamps, seqs []uint64) (ligra.Graph, error) {
 		c.vmu.Lock()
 		cv := c.views[s]
 		c.vmu.Unlock()
-		if cv.view != nil && cv.stamp == stamps[s] {
+		if cv.view != nil && cv.stamp == stamps[s] && cv.seq == seqs[s] {
 			views[s] = cv.view
 			c.viewHits.Add(1)
 			continue
@@ -177,7 +183,7 @@ func (c *Cluster[E]) flatFor(stamps, seqs []uint64) (ligra.Graph, error) {
 			}
 			views[s] = v
 			c.vmu.Lock()
-			c.views[s] = cachedView{stamp: stamps[s], view: v}
+			c.views[s] = cachedView{stamp: stamps[s], seq: seqs[s], at: time.Now(), view: v}
 			c.vmu.Unlock()
 		}(s)
 	}
@@ -189,9 +195,12 @@ func (c *Cluster[E]) flatFor(stamps, seqs []uint64) (ligra.Graph, error) {
 	}
 	flat := shard.StitchViews(c.part, views)
 	c.stitchBuilds.Add(1)
-	key := append([]uint64(nil), stamps...)
 	c.vmu.Lock()
-	c.stitch = stitchSlot{stamps: key, flat: flat}
+	c.stitch = stitchSlot{
+		stamps: append([]uint64(nil), stamps...),
+		seqs:   append([]uint64(nil), seqs...),
+		flat:   flat,
+	}
 	c.vmu.Unlock()
 	return flat, nil
 }
@@ -207,6 +216,11 @@ func (c *Cluster[E]) fetchShardView(s int, stamp, seq uint64) (ligra.Graph, erro
 		if err == nil {
 			c.replicaReads.Add(1)
 			return v, nil
+		}
+		if stamp == 0 {
+			// Degraded pin: the shard is addressed purely by replica
+			// seq; there is no primary stamp to fall back to.
+			return nil, err
 		}
 		c.primaryFallbacks.Add(1)
 	}

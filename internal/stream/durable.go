@@ -96,6 +96,13 @@ type Durability struct {
 	// plus "checkpoint" (before a checkpoint file is written). Nil in
 	// production.
 	Fail wal.Failpoint
+	// OnReplayNote, when set, observes the idempotency note of every
+	// noted WAL record replayed during Recover, in log order — how the
+	// distributed layer's per-client dedup window survives a restart.
+	// Records covered by the checkpoint are not replayed; notes older
+	// than the checkpoint horizon are gone, which is why the dedup
+	// window must be sized under the checkpoint cadence (see DESIGN.md).
+	OnReplayNote func(client, seq uint64)
 }
 
 func (d Durability) withDefaults() Durability {
@@ -232,33 +239,75 @@ func (d *durable[G, E]) fail(err error) {
 	}
 }
 
-// logRuns appends one WAL record per same-kind run and, under the
-// per-commit policy, fsyncs — all before the commit is applied or acked.
-func (d *durable[G, E]) logRuns(runs []run[E]) error {
-	w := d.codec.Width
-	for _, r := range runs {
-		need := w * len(r.edges)
-		if cap(d.scratch) < need {
-			d.scratch = make([]byte, need+need/2)
+// logCommit journals one coalesced commit group before it is applied
+// or acked. With no idempotency notes in the group, same-kind runs
+// collapse to one record each (the PR-6 format). Any noted batch
+// switches the group to one record per batch so every note lands in
+// its own atomic record; application still uses the merged runs — the
+// concatenated edge stream on disk is identical either way.
+func (d *durable[G, E]) logCommit(batch []pending[E], runs []run[E]) error {
+	noted := false
+	for _, b := range batch {
+		if b.note != (Note{}) {
+			noted = true
+			break
 		}
-		buf := d.scratch[:need]
-		for i, ed := range r.edges {
-			d.codec.Encode(buf[i*w:], ed)
+	}
+	if !noted {
+		for _, r := range runs {
+			if err := d.logOne(r.del, r.edges, Note{}); err != nil {
+				return err
+			}
 		}
-		kind := wal.Insert
-		if r.del {
-			kind = wal.Delete
-		}
-		seq, err := d.log.Append(kind, uint8(w), uint32(len(r.edges)), buf)
-		if err != nil {
-			return err
-		}
-		if d.onAppend != nil {
-			d.onAppend(seq, kind, uint8(w), uint32(len(r.edges)), buf)
+	} else {
+		for _, b := range batch {
+			if len(b.edges) == 0 {
+				continue
+			}
+			if err := d.logOne(b.del, b.edges, b.note); err != nil {
+				return err
+			}
 		}
 	}
 	if d.opts.Policy == SyncEveryCommit {
 		return d.log.Sync()
+	}
+	return nil
+}
+
+// logOne appends one WAL record for a merged run or a noted batch.
+func (d *durable[G, E]) logOne(del bool, edges []E, note Note) error {
+	w := d.codec.Width
+	hdr := 0
+	kind := wal.Insert
+	if del {
+		kind = wal.Delete
+	}
+	if note != (Note{}) {
+		hdr = wal.NoteLen
+		kind = wal.NotedInsert
+		if del {
+			kind = wal.NotedDelete
+		}
+	}
+	need := hdr + w*len(edges)
+	if cap(d.scratch) < need {
+		d.scratch = make([]byte, need+need/2)
+	}
+	buf := d.scratch[:need]
+	if hdr != 0 {
+		binary.LittleEndian.PutUint64(buf, note.Client)
+		binary.LittleEndian.PutUint64(buf[8:], note.Seq)
+	}
+	for i, ed := range edges {
+		d.codec.Encode(buf[hdr+i*w:], ed)
+	}
+	seq, err := d.log.Append(kind, uint8(w), uint32(len(edges)), buf)
+	if err != nil {
+		return err
+	}
+	if d.onAppend != nil {
+		d.onAppend(seq, kind, uint8(w), uint32(len(edges)), buf)
 	}
 	return nil
 }
@@ -514,6 +563,12 @@ func listCheckpoints(dir string) ([]ckptFile, error) {
 // sequence number it includes. Tolerates the torn final record a crash
 // leaves; reports mid-log damage as wal.ErrCorrupt.
 func Load[G ligra.Graph, E any](dir string, g0 G, insert, remove func(G, []E) G, codec Codec[E], sc SnapshotCodec[G]) (G, uint64, error) {
+	return loadWithNotes(dir, g0, insert, remove, codec, sc, nil)
+}
+
+// loadWithNotes is Load plus an observer for the idempotency notes of
+// replayed Noted* records (Durability.OnReplayNote).
+func loadWithNotes[G ligra.Graph, E any](dir string, g0 G, insert, remove func(G, []E) G, codec Codec[E], sc SnapshotCodec[G], onNote func(client, seq uint64)) (G, uint64, error) {
 	g, after := g0, uint64(0)
 	cks, err := listCheckpoints(dir)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
@@ -541,11 +596,18 @@ func Load[G ligra.Graph, E any](dir string, g0 G, insert, remove func(G, []E) G,
 		if int(rec.Width) != codec.Width {
 			return fmt.Errorf("%w: record width %d, engine expects %d", wal.ErrCorrupt, rec.Width, codec.Width)
 		}
+		data := rec.Data
+		if rec.Kind.HasNote() {
+			if onNote != nil {
+				onNote(binary.LittleEndian.Uint64(data), binary.LittleEndian.Uint64(data[8:]))
+			}
+			data = data[wal.NoteLen:]
+		}
 		edges := make([]E, rec.Count)
 		for i := range edges {
-			edges[i] = codec.Decode(rec.Data[i*codec.Width:])
+			edges[i] = codec.Decode(data[i*codec.Width:])
 		}
-		if rec.Kind == wal.Delete {
+		if rec.Kind.IsDelete() {
 			g = remove(g, edges)
 		} else {
 			g = insert(g, edges)
@@ -599,7 +661,7 @@ func Recover[G ligra.Graph, E any](g0 G, insert, remove func(G, []E) G, opts Opt
 		return nil, errors.New("stream: Durability.Dir is required")
 	}
 	d = d.withDefaults()
-	g, last, err := Load(d.Dir, g0, insert, remove, codec, sc)
+	g, last, err := loadWithNotes(d.Dir, g0, insert, remove, codec, sc, d.OnReplayNote)
 	if err != nil {
 		return nil, err
 	}

@@ -83,10 +83,20 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Note is an idempotency tag carried by SubmitNoted batches: the WAL
+// record of a noted batch embeds (Client, Seq), so recovery and WAL
+// tail shipping rebuild the server's per-client dedup window in the
+// same atomic unit as the data. The zero Note means "untagged".
+type Note struct {
+	Client uint64
+	Seq    uint64
+}
+
 // pending is one submitted batch waiting in the ingest queue.
 type pending[E any] struct {
 	del   bool
 	edges []E
+	note  Note
 	enq   time.Time
 	done  chan uint64 // nil unless a waiter wants the commit stamp
 }
@@ -306,12 +316,26 @@ func (e *Engine[G, E]) submit(del bool, edges []E) (Pending, error) {
 	// Small batches jump to the priority lane when it is enabled; zero-edge
 	// markers (Flush) always ride the normal lane so they cover it fully.
 	prio := e.prio != nil && len(edges) > 0 && len(edges) <= e.opts.PriorityEdges
-	return e.submitTo(del, edges, prio)
+	return e.submitNoted(del, edges, Note{}, prio)
+}
+
+// SubmitNoted enqueues a batch tagged with an idempotency note: the
+// batch's WAL record carries (note.Client, note.Seq) so a dedup window
+// rebuilt from the log knows the batch is part of the committed prefix.
+// Routing (priority lane, backpressure) matches Insert/Delete. The
+// caller owns deduplication — the engine only journals the tag.
+func (e *Engine[G, E]) SubmitNoted(del bool, edges []E, note Note) (Pending, error) {
+	prio := e.prio != nil && len(edges) > 0 && len(edges) <= e.opts.PriorityEdges
+	return e.submitNoted(del, edges, note, prio)
 }
 
 func (e *Engine[G, E]) submitTo(del bool, edges []E, prio bool) (Pending, error) {
+	return e.submitNoted(del, edges, Note{}, prio)
+}
+
+func (e *Engine[G, E]) submitNoted(del bool, edges []E, note Note, prio bool) (Pending, error) {
 	done := make(chan uint64, 1)
-	p := pending[E]{del: del, edges: edges, enq: time.Now(), done: done}
+	p := pending[E]{del: del, edges: edges, note: note, enq: time.Now(), done: done}
 	e.mu.RLock()
 	if e.closed {
 		e.mu.RUnlock()
@@ -555,7 +579,7 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 			runs = append(runs, run[E]{del: b.del, edges: b.edges})
 		}
 		if e.dur != nil {
-			if err := e.dur.logRuns(runs); err != nil {
+			if err := e.dur.logCommit(batch, runs); err != nil {
 				e.dur.fail(err)
 				nack(batch)
 				return
@@ -661,6 +685,10 @@ type Stats struct {
 	Checkpoints   uint64    `json:"checkpoints,omitempty"`
 	CheckpointSeq uint64    `json:"checkpoint_seq,omitempty"`
 }
+
+// Stamp returns the latest published version stamp (same value Stats
+// reports; a cheap accessor for callers that need only this).
+func (e *Engine[G, E]) Stamp() uint64 { return e.reg.Current() }
 
 // CoalesceFactor is committed batches per published version.
 func (s Stats) CoalesceFactor() float64 {

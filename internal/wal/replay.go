@@ -105,7 +105,11 @@ func replaySegment(seg segment, after uint64, final bool, fn func(Record) error)
 		kind := Kind(buf[8])
 		width := buf[9]
 		count := binary.LittleEndian.Uint32(buf[12:])
-		if seq != expect || uint64(count)*uint64(width) != uint64(payload-recHead) {
+		want := uint64(count) * uint64(width)
+		if kind.HasNote() {
+			want += NoteLen
+		}
+		if seq != expect || want != uint64(payload-recHead) {
 			// A checksum-valid record with the wrong sequence number or an
 			// inconsistent count is not a torn write — it is corruption.
 			return false, last, fmt.Errorf("%w: record seq %d (want %d) in %s", ErrCorrupt, seq, expect, seg.path)

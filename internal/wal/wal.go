@@ -41,7 +41,25 @@ const (
 	Insert Kind = iota
 	// Delete is a batch of edge deletions.
 	Delete
+	// NotedInsert / NotedDelete are Insert / Delete whose payload leads
+	// with a NoteLen-byte idempotency note — client id u64, client seq
+	// u64, little-endian — ahead of the Count*Width edge bytes. The note
+	// rides inside the same checksummed record as the batch it tags, so
+	// the distributed layer's per-client dedup window is recovered
+	// atomically with the data on replay and ships to replicas through
+	// the ordinary tail stream.
+	NotedInsert
+	NotedDelete
 )
+
+// NoteLen is the idempotency-note prefix length of Noted* payloads.
+const NoteLen = 16
+
+// IsDelete reports whether the record applies deletions.
+func (k Kind) IsDelete() bool { return k == Delete || k == NotedDelete }
+
+// HasNote reports whether the payload leads with a NoteLen-byte note.
+func (k Kind) HasNote() bool { return k == NotedInsert || k == NotedDelete }
 
 // Record is one appended batch.
 type Record struct {
@@ -55,8 +73,9 @@ type Record struct {
 	Width uint8
 	// Count is the number of edge updates in Data.
 	Count uint32
-	// Data is the batch payload, Count*Width bytes. During Replay it
-	// aliases an internal buffer and is only valid inside the callback.
+	// Data is the batch payload: Count*Width bytes, preceded by a
+	// NoteLen-byte note for the Noted* kinds. During Replay it aliases
+	// an internal buffer and is only valid inside the callback.
 	Data []byte
 }
 
