@@ -15,6 +15,15 @@
 // default fsync-per-commit policy an acked batch survives kill -9 of
 // the process — the multi-process crash test in main_test.go proves
 // exactly that.
+//
+// -obs-addr mounts the observability plane on a second listener:
+// Prometheus-text /metrics (engine, WAL, per-verb RPC latency, dedup
+// occupancy, armed failpoints), JSON /statusz (stage breakdown, version
+// stamp, slow-commit traces), /healthz (503 once a durability error
+// moved the engine to fail-stop), and /debug/pprof. -trace-slow arms
+// the slow-commit ring behind /statusz.
+//
+//	shardd -shard 0 -shards 3 -addr 127.0.0.1:7070 -data d0 -obs-addr 127.0.0.1:9090
 package main
 
 import (
@@ -28,6 +37,9 @@ import (
 	"time"
 
 	"repro/internal/ctree"
+	"repro/internal/faults"
+	"repro/internal/ligra"
+	"repro/internal/obs"
 	"repro/internal/shard/remote"
 	"repro/internal/stream"
 )
@@ -59,6 +71,8 @@ func run(args []string, stdout io.Writer) error {
 		promote   = fs.Duration("promote-after", 0, "replica: promote to accepting primary after this much sustained primary loss (0 = never)")
 		dialTO    = fs.Duration("dial-timeout", 0, "replica: one dial attempt's timeout (0 = default 1s)")
 		dedupWin  = fs.Int("dedup-window", 0, "exactly-once window: retried submits within the last N client seqs are acked, not re-applied (0 = default 4096)")
+		obsAddr   = fs.String("obs-addr", "", "observability listen address serving /metrics, /statusz, /healthz and /debug/pprof (empty disables)")
+		traceSlow = fs.Duration("trace-slow", 0, "capture per-stage breakdowns of commits slower than this into the /statusz slow ring (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,10 +97,18 @@ func run(args []string, stdout io.Writer) error {
 		ro := remote.Options{PromoteAfter: *promote, DialTimeout: *dialTO, DedupWindow: *dedupWin}
 		if *weighted {
 			r := remote.NewWeightedReplica(*replicaOf, p, *shardID, *shards, *ring, ro)
+			if err := wireReplicaObs(stdout, *obsAddr, r.Stats); err != nil {
+				ln.Close()
+				return err
+			}
 			go func() { <-sigs; r.Close() }()
 			return r.Serve(ln)
 		}
 		r := remote.NewGraphReplica(*replicaOf, p, *shardID, *shards, *ring, ro)
+		if err := wireReplicaObs(stdout, *obsAddr, r.Stats); err != nil {
+			ln.Close()
+			return err
+		}
 		go func() { <-sigs; r.Close() }()
 		return r.Serve(ln)
 	}
@@ -111,7 +133,7 @@ func run(args []string, stdout io.Writer) error {
 		CheckpointEvery: *ckptEvery,
 		OnReplayNote:    win.Observe,
 	}
-	opts := stream.Options{QueueCap: *queueCap, MaxCoalesce: *coalesce}
+	opts := stream.Options{QueueCap: *queueCap, MaxCoalesce: *coalesce, TraceSlow: *traceSlow}
 
 	t0 := time.Now()
 	if *weighted {
@@ -122,6 +144,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 		srv := remote.NewWeightedServer(eng, p, *dataDir, *shardID, *shards)
 		srv.SetDedup(win)
+		if err := wirePrimaryObs(stdout, *obsAddr, eng, srv, win, *shardID); err != nil {
+			ln.Close()
+			return err
+		}
 		return servePrimary(stdout, ln, sigs, srv.Serve, srv.Close, eng, t0, *shardID, *shards)
 	}
 	eng, err := stream.RecoverGraphEngine(p, opts, dur)
@@ -131,7 +157,95 @@ func run(args []string, stdout io.Writer) error {
 	}
 	srv := remote.NewGraphServer(eng, p, *dataDir, *shardID, *shards)
 	srv.SetDedup(win)
+	if err := wirePrimaryObs(stdout, *obsAddr, eng, srv, win, *shardID); err != nil {
+		ln.Close()
+		return err
+	}
 	return servePrimary(stdout, ln, sigs, srv.Serve, srv.Close, eng, t0, *shardID, *shards)
+}
+
+// wirePrimaryObs mounts the observability plane of a primary: the
+// engine's full metric set (commit stages, WAL, checkpoints), the RPC
+// server's per-verb dispatch latency, dedup occupancy, and the armed-
+// failpoint gauge; /statusz carries the stage breakdown, slow-commit
+// traces and engine stats; /healthz turns 503 once a durability error
+// moves the engine to fail-stop. Empty addr disables the plane.
+func wirePrimaryObs[G ligra.Graph, E any](stdout io.Writer, addr string,
+	eng *stream.Engine[G, E], srv *remote.Server[G, E], win *remote.Dedup, shardID int) error {
+	if addr == "" {
+		return nil
+	}
+	reg := obs.NewRegistry()
+	eng.RegisterMetrics(reg)
+	srv.RegisterMetrics(reg)
+	reg.GaugeFunc("aspen_faults_armed",
+		"Failpoints currently armed in the process-global registry.",
+		func() float64 { return float64(faults.Default.ArmedCount()) })
+	osrv := obs.NewServer()
+	osrv.SetRegistry(reg)
+	osrv.SetHealth(eng.Err)
+	osrv.SetStatus(func() any {
+		slow, seen := eng.Tracer().SlowViews()
+		clients, entries := win.Occupancy()
+		return map[string]any{
+			"shard":        shardID,
+			"engine":       eng.Stats(),
+			"stages":       stageStatus(eng.Tracer()),
+			"slow_commits": map[string]any{"seen": seen, "traces": slow},
+			"dedup":        map[string]int{"clients": clients, "entries": entries},
+			"faults_armed": faults.Default.ArmedCount(),
+		}
+	})
+	if err := osrv.Start(addr); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	fmt.Fprintf(stdout, "shardd: obs on http://%s (/metrics /statusz /healthz /debug/pprof)\n", osrv.Addr())
+	return nil
+}
+
+// wireReplicaObs is the replica's smaller plane: no local engine, so
+// /statusz serves the replica's tail/read counters and /metrics the
+// armed-failpoint gauge plus those counters as read-through views.
+func wireReplicaObs(stdout io.Writer, addr string, stats func() remote.ReplicaStats) error {
+	if addr == "" {
+		return nil
+	}
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("aspen_faults_armed",
+		"Failpoints currently armed in the process-global registry.",
+		func() float64 { return float64(faults.Default.ArmedCount()) })
+	reg.CounterFunc("aspen_replica_records_total",
+		"WAL records applied from the primary's tail stream.",
+		func() uint64 { return stats().Records })
+	reg.GaugeFunc("aspen_replica_applied_seq",
+		"Highest WAL sequence number applied (read watermark).",
+		func() float64 { return float64(stats().Applied) })
+	reg.CounterFunc("aspen_replica_reads_total",
+		"Reads served by this replica.",
+		func() uint64 { return stats().Reads })
+	reg.CounterFunc("aspen_replica_resyncs_total",
+		"Tail resynchronization rounds.",
+		func() uint64 { return stats().Resyncs })
+	osrv := obs.NewServer()
+	osrv.SetRegistry(reg)
+	osrv.SetStatus(func() any { return stats() })
+	if err := osrv.Start(addr); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	fmt.Fprintf(stdout, "shardd: obs on http://%s (/metrics /statusz /healthz /debug/pprof)\n", osrv.Addr())
+	return nil
+}
+
+// stageStatus renders the tracer's per-stage summaries for /statusz.
+func stageStatus(t *obs.StageTracer) map[string]obs.LatencySummary {
+	sums := t.Summaries()
+	out := make(map[string]obs.LatencySummary, len(sums))
+	for i, s := range sums {
+		if s.Count > 0 {
+			out[obs.Stage(i).String()] = s
+		}
+	}
+	return out
 }
 
 // engineCloser is the slice of stream.Engine the shutdown path needs.

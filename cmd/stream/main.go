@@ -20,6 +20,16 @@
 // folds the "benchmarks" array of an existing snapshot (produced with
 // `cmd/benchdiff -out`) into the same file so one document carries both
 // the §7.8 reproduction and the CI-gated benchmark metrics.
+//
+// -obs-addr mounts the observability plane for the whole process:
+// Prometheus-text /metrics for the current run's engine (or sharded
+// cluster, or remote client), JSON /statusz with the commit stage
+// breakdown and slow-commit traces, /healthz, and /debug/pprof.
+// -trace-slow <dur> additionally captures every commit slower than
+// <dur> into a bounded ring and dumps it (per-stage: enqueue, coalesce,
+// wal_append, fsync, apply, flat_patch, ack) after each run:
+//
+//	stream -quick -obs-addr 127.0.0.1:9090 -trace-slow 2ms -duration 30s
 package main
 
 import (
@@ -86,6 +96,9 @@ func main() {
 		ckptEv   = flag.Int("ckpt-every", 256, "checkpoint after this many commits with -data")
 		recOnly  = flag.Bool("recover-only", false, "recover -data, report what survived, and exit")
 		killN    = flag.Int("killtest", 0, "ingest N deterministic durable batches into -data, printing an ack line per commit (crash-harness mode)")
+
+		obsAddr   = flag.String("obs-addr", "", "observability listen address serving /metrics, /statusz, /healthz and /debug/pprof (empty disables)")
+		traceSlow = flag.Duration("trace-slow", 0, "capture per-stage breakdowns of commits slower than this; dumped after each run and served via /statusz (0 disables)")
 	)
 	flag.Parse()
 	if *killN > 0 {
@@ -150,7 +163,9 @@ func main() {
 		Seed: *seed, Procs: runtime.GOMAXPROCS(0),
 		Data: *dataDir, Fsync: *fsyncPol,
 		FsyncIntervalNS: fsyncInt.Nanoseconds(), CkptEvery: *ckptEv,
+		TraceSlowNS: traceSlow.Nanoseconds(),
 	}
+	startObs(*obsAddr)
 	fmt.Printf("stream: scale=%d init=%d batch=%d weighted=%v algos=%s flat=%v patch=%v inc-cc=%v delmix=%d procs=%d\n",
 		*scale, *initE, *batch, *weighted, *algoList, *flat, *patch, *incCC, *delmix, cfg.Procs)
 
@@ -254,6 +269,9 @@ type config struct {
 	Fsync           string `json:"fsync,omitempty"`
 	FsyncIntervalNS int64  `json:"fsync_interval_ns,omitempty"`
 	CkptEvery       int    `json:"ckpt_every,omitempty"`
+
+	// TraceSlowNS is the -trace-slow slow-commit threshold (0 = off).
+	TraceSlowNS int64 `json:"trace_slow_ns,omitempty"`
 }
 
 // durability translates the config into a stream.Durability (Data must be
@@ -334,7 +352,8 @@ func closeEngine[G ligra.Graph, E any](e *stream.Engine[G, E]) {
 func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bool, stop <-chan struct{}) runResult {
 	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
 	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce,
-		PrebuildFlat: cfg.PrebuildFlat, PatchFlat: cfg.PatchFlat, PriorityEdges: cfg.Priority}
+		PrebuildFlat: cfg.PrebuildFlat, PatchFlat: cfg.PatchFlat, PriorityEdges: cfg.Priority,
+		TraceSlow: time.Duration(cfg.TraceSlowNS)}
 	var rep stream.Report
 	var ccq *algos.IncrementalCC
 	if cfg.Weighted {
@@ -356,6 +375,7 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 			// everything after.
 			ccq = stream.AttachWeightedIncrementalCC(e)
 		}
+		mountEngineObs(e)
 		w := stream.Workload[aspen.WeightedGraph, aspen.WeightedEdge]{
 			Engine:   e,
 			Readers:  readers,
@@ -370,6 +390,9 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 				func(lo, hi uint64) []aspen.WeightedEdge { return weightedBatch(gen, lo, hi) })
 		}
 		rep = w.Run()
+		if cfg.TraceSlowNS > 0 {
+			dumpSlowTraces(e.Tracer(), time.Duration(cfg.TraceSlowNS))
+		}
 		closeEngine(e)
 	} else {
 		var e *stream.Engine[aspen.Graph, aspen.Edge]
@@ -387,6 +410,7 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 		if cfg.IncCC {
 			ccq = stream.AttachGraphIncrementalCC(e)
 		}
+		mountEngineObs(e)
 		w := stream.Workload[aspen.Graph, aspen.Edge]{
 			Engine:   e,
 			Readers:  readers,
@@ -401,6 +425,9 @@ func oneRun(cfg config, readers int, name string, d time.Duration, withWriter bo
 				func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) })
 		}
 		rep = w.Run()
+		if cfg.TraceSlowNS > 0 {
+			dumpSlowTraces(e.Tracer(), time.Duration(cfg.TraceSlowNS))
+		}
 		closeEngine(e)
 	}
 	rr := runResult{Name: name, Report: rep}
@@ -572,12 +599,14 @@ func oneShardRun(cfg config, s, readers int, d, pace time.Duration, stop <-chan 
 	gen := rmat.NewGenerator(cfg.Scale, cfg.Seed)
 	part := shardPartitioner(cfg, s)
 	opts := stream.Options{QueueCap: cfg.QueueCap, MaxCoalesce: cfg.MaxCoalesce,
-		PrebuildFlat: cfg.PrebuildFlat, PatchFlat: cfg.PatchFlat, PriorityEdges: cfg.Priority}
+		PrebuildFlat: cfg.PrebuildFlat, PatchFlat: cfg.PatchFlat, PriorityEdges: cfg.Priority,
+		TraceSlow: time.Duration(cfg.TraceSlowNS)}
 	if cfg.Weighted {
 		// Initial load outside the serving path (NewWeightedClusterFrom),
 		// matching how the single-engine baseline preloads before engine
 		// construction — counters and latency digests see only the stream.
 		c := shard.NewWeightedClusterFrom(part, ctree.DefaultParams(), weightedBatch(gen, 0, cfg.InitEdges), opts)
+		mountClusterObs(c)
 		w := shard.Workload[aspen.WeightedGraph, aspen.WeightedEdge]{
 			Cluster: c, Readers: readers, Kernels: shardKernels(cfg),
 			Duration: d, Interval: pace, UseFlat: cfg.Flat, Stop: stop,
@@ -590,6 +619,7 @@ func oneShardRun(cfg config, s, readers int, d, pace time.Duration, stop <-chan 
 	}
 	c := shard.NewGraphClusterFrom(part, ctree.DefaultParams(),
 		aspen.MakeUndirected(gen.Edges(0, cfg.InitEdges)), opts)
+	mountClusterObs(c)
 	w := shard.Workload[aspen.Graph, aspen.Edge]{
 		Cluster: c, Readers: readers, Kernels: shardKernels(cfg),
 		Duration: d, Interval: pace, UseFlat: cfg.Flat, Stop: stop,

@@ -65,6 +65,7 @@ func runRemote(ctx context.Context, cfg config, connect, readFrom string, ro rem
 			fatal("%v", err)
 		}
 		closeC = c.Close
+		mountRemoteObs(c)
 		next := persistentSchedule(stream.UpdateScheduleMix(0, cfg.Batch, cfg.DelPeriod,
 			func(lo, hi uint64) []aspen.WeightedEdge { return weightedBatch(gen, lo, hi) }))
 		oneRun = func(readers int, pace time.Duration) remote.Report {
@@ -80,6 +81,7 @@ func runRemote(ctx context.Context, cfg config, connect, readFrom string, ro rem
 			fatal("%v", err)
 		}
 		closeC = c.Close
+		mountRemoteObs(c)
 		next := persistentSchedule(stream.UpdateScheduleMix(0, cfg.Batch, cfg.DelPeriod,
 			func(lo, hi uint64) []aspen.Edge { return aspen.MakeUndirected(gen.Edges(lo, hi)) }))
 		oneRun = func(readers int, pace time.Duration) remote.Report {

@@ -71,6 +71,12 @@ func (r *Registry) ClearAll() {
 	r.mu.Unlock()
 }
 
+// ArmedCount returns how many failpoints are currently armed — the
+// observability layer's aspen_faults_armed gauge, so a scrape of a
+// production process can prove no chaos hooks were left set. One
+// atomic load.
+func (r *Registry) ArmedCount() int { return int(r.armed.Load()) }
+
 // Hit consults a named failpoint, returning its error when it fires.
 // The unarmed fast path is a single atomic load.
 func (r *Registry) Hit(name string) error {

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkObsCounterAdd and BenchmarkStageTraceRecord are the PR 10
+// CI gate (BENCH_pr10_obs.json): both must stay at 0 allocs/op, or the
+// instrumentation is no longer free on the commit path.
+
+func BenchmarkObsCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_ops_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkStageTraceRecord(b *testing.B) {
+	var tr StageTracer
+	rec := StageTrace{Stamp: 1, Edges: 100, Batches: 4}
+	rec.Durs[StageCoalesce] = 20 * time.Microsecond
+	rec.Durs[StageApply] = 300 * time.Microsecond
+	rec.Durs[StageFlatPatch] = 80 * time.Microsecond
+	rec.Durs[StageAck] = 5 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(&rec)
+	}
+}
+
+func BenchmarkStageTraceRecordSlow(b *testing.B) {
+	var tr StageTracer
+	tr.SetSlowThreshold(1) // every record takes the ring path
+	rec := StageTrace{Stamp: 1, Edges: 100, Batches: 4}
+	rec.Durs[StageApply] = 300 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(&rec)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 8; i++ {
+		c := r.Counter("bench_family_total", "x",
+			Label{Key: "shard", Value: string(rune('0' + i))})
+		c.Add(uint64(i))
+	}
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	r.Summary("bench_latency_seconds", "x", &h)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

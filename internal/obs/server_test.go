@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+func TestServerMetrics(t *testing.T) {
+	s := NewServer()
+	c := s.Registry().Counter("test_hits_total", "Hits.")
+	c.Add(3)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content-type = %q, want exposition 0.0.4", ct)
+	}
+	samples := parseExposition(t, body)
+	if samples["test_hits_total"] != "3" {
+		t.Errorf("scrape = %v, want test_hits_total 3", samples)
+	}
+}
+
+func TestServerStatusz(t *testing.T) {
+	s := NewServer()
+	s.Registry().Counter("test_a_total", "a")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Default payload: the registered metric names.
+	resp, body := get(t, ts, "/statusz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/statusz status = %d", resp.StatusCode)
+	}
+	var def struct {
+		Metrics []string `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &def); err != nil {
+		t.Fatalf("default /statusz not JSON: %v\n%s", err, body)
+	}
+	if len(def.Metrics) != 1 || def.Metrics[0] != "test_a_total" {
+		t.Errorf("default payload = %+v", def)
+	}
+
+	// Installed payload round-trips through JSON.
+	s.SetStatus(func() any {
+		return map[string]any{"stamp": 42, "mode": "durable"}
+	})
+	_, body = get(t, ts, "/statusz")
+	var got map[string]any
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("statusz not JSON: %v", err)
+	}
+	if got["stamp"] != float64(42) || got["mode"] != "durable" {
+		t.Errorf("statusz = %v", got)
+	}
+
+	// nil uninstalls, back to the default payload.
+	s.SetStatus(nil)
+	_, body = get(t, ts, "/statusz")
+	if !strings.Contains(body, "metrics") {
+		t.Errorf("after uninstall: %s", body)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Fatalf("default health = %d %q", resp.StatusCode, body)
+	}
+	s.SetHealth(func() error { return errors.New("wal torn") })
+	resp, body = get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "wal torn") {
+		t.Fatalf("failing health = %d %q", resp.StatusCode, body)
+	}
+	s.SetHealth(nil)
+	resp, _ = get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("uninstalled health = %d", resp.StatusCode)
+	}
+}
+
+func TestServerRegistrySwap(t *testing.T) {
+	s := NewServer()
+	s.Registry().Counter("test_old_total", "old")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	fresh := NewRegistry()
+	fresh.Counter("test_new_total", "new")
+	s.SetRegistry(fresh)
+	_, body := get(t, ts, "/metrics")
+	if strings.Contains(body, "test_old_total") || !strings.Contains(body, "test_new_total") {
+		t.Errorf("swap did not take: %s", body)
+	}
+	// nil resets to an empty registry rather than crashing the scrape.
+	s.SetRegistry(nil)
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK || strings.Contains(body, "test_new_total") {
+		t.Errorf("nil swap: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestServerPprof(t *testing.T) {
+	s := NewServer()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts, "/debug/pprof/goroutine?debug=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("goroutine profile = %d", resp.StatusCode)
+	}
+	resp, _ = get(t, ts, "/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("cmdline = %d", resp.StatusCode)
+	}
+}
+
+func TestServerStartClose(t *testing.T) {
+	s := NewServer()
+	if s.Addr() != "" {
+		t.Fatalf("Addr before Start = %q", s.Addr())
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("GET over real listener: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -61,7 +61,28 @@ const (
 	// endpoint's role (primary / replica / promoted replica), its latest
 	// commit stamp and its WAL-seq watermark. Cheap enough to poll.
 	VerbHealth Verb = 11
+
+	// NumVerbs is one past the highest verb — sizes per-verb tables
+	// (the server's dispatch-latency histograms).
+	NumVerbs = 12
 )
+
+// verbNames maps verbs to the stable label spellings the metrics layer
+// exports.
+var verbNames = [NumVerbs]string{
+	VerbHello: "hello", VerbSubmit: "submit", VerbFlush: "flush",
+	VerbPin: "pin", VerbRelease: "release", VerbRead: "read",
+	VerbStats: "stats", VerbTail: "tail", VerbTailRec: "tail_rec",
+	VerbTailSnap: "tail_snap", VerbHealth: "health",
+}
+
+// String returns the verb's wire-stable lowercase name.
+func (v Verb) String() string {
+	if int(v) < len(verbNames) && verbNames[v] != "" {
+		return verbNames[v]
+	}
+	return "unknown"
+}
 
 // Frame flag bits.
 const (

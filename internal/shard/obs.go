@@ -1,0 +1,28 @@
+package shard
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// RegisterMetrics federates every shard engine's counters into reg
+// under a shard="N" label, plus the cluster-level stitch-cache counters
+// — the same words Stats() aggregates, registered once at wiring time.
+func (c *Cluster[G, E]) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	for i, eng := range c.engines {
+		ls := make([]obs.Label, 0, len(labels)+1)
+		ls = append(ls, labels...)
+		ls = append(ls, obs.Label{Key: "shard", Value: strconv.Itoa(i)})
+		eng.RegisterMetrics(reg, ls...)
+	}
+	reg.CounterFunc("aspen_stitch_builds_total",
+		"Cluster flat views stitched from every shard (full gathers).",
+		c.stitch.builds.Load, labels...)
+	reg.CounterFunc("aspen_stitch_patches_total",
+		"Cluster flat views delta-stitched off the previous slot.",
+		c.stitch.patches.Load, labels...)
+	reg.CounterFunc("aspen_stitch_hits_total",
+		"Cluster flat views served from the stitch cache.",
+		c.stitch.hits.Load, labels...)
+}

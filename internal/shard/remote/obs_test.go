@@ -1,0 +1,143 @@
+package remote
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// TestMetricsScrapeUnderChaos federates client and server counters into
+// obs registries and scrapes them concurrently with a saturated writer
+// whose connections are being churned (dropped writes, severed conns) —
+// the -race proof that the observability plane never synchronizes with
+// the submit/retry/dedup path, and that the exposition reflects the
+// PR 9 resilience ladder (retries, dedup acks) live.
+func TestMetricsScrapeUnderChaos(t *testing.T) {
+	part := shard.NewRangePartitioner(2, 1<<9)
+	servers, addrs := startServers(t, part, true)
+	tr := faults.NewTransport()
+	o := chaosOpts()
+	o.Dialer = tr.Dialer(nil)
+	c, err := DialGraph(part, addrs, nil, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	clientReg := obs.NewRegistry()
+	c.RegisterMetrics(clientReg)
+	serverReg := obs.NewRegistry()
+	for i, ts := range servers {
+		ts.srv.RegisterMetrics(serverReg, obs.Label{Key: "shard", Value: string(rune('0' + i))})
+	}
+
+	stopScrape := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ { // concurrent scrapers over both registries
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopScrape:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := clientReg.WritePrometheus(&sb); err != nil {
+					t.Errorf("client scrape: %v", err)
+					return
+				}
+				sb.Reset()
+				if err := serverReg.WritePrometheus(&sb); err != nil {
+					t.Errorf("server scrape: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Saturated writer with connection churn, as in
+	// TestSubmitRetriesAfterConnDrop.
+	ops := randomOps(1<<9, 12, 400, 11)
+	var pendings []*Pending
+	for i, op := range ops {
+		switch i % 4 {
+		case 1:
+			tr.DropNext(1)
+		case 3:
+			tr.KillAll()
+		}
+		var p *Pending
+		var err error
+		if op.del {
+			p, err = c.Delete(op.edges)
+		} else {
+			p, err = c.Insert(op.edges)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendings = append(pendings, p)
+	}
+	for _, p := range pendings {
+		if err := p.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.ClearScheduled()
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	close(stopScrape)
+	wg.Wait()
+
+	// The client exposition must agree with Stats() at quiescence and
+	// show the resilience counters moving.
+	var sb strings.Builder
+	if err := clientReg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	st := c.Stats()
+	if st.Retries == 0 {
+		t.Fatalf("chaos schedule caused no retries: %+v", st)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("aspen_client_batches_total %d", st.Batches),
+		fmt.Sprintf("aspen_client_retries_total %d", st.Retries),
+		"aspen_client_dedup_acks_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("client exposition missing %q", want)
+		}
+	}
+
+	// The server exposition carries per-verb dispatch latency per shard
+	// and the dedup occupancy gauges.
+	sb.Reset()
+	if err := serverReg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text = sb.String()
+	for _, want := range []string{
+		`aspen_rpc_dispatch_seconds_count{shard="0",verb="submit"}`,
+		`aspen_rpc_dispatch_seconds_count{shard="1",verb="hello"}`,
+		`aspen_dedup_clients{shard="0"}`,
+		"aspen_dedup_entries",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("server exposition missing %q", want)
+		}
+	}
+	for _, ts := range servers {
+		if clients, entries := ts.srv.dedup.Occupancy(); clients == 0 || entries == 0 {
+			t.Errorf("dedup occupancy = (%d, %d), want both > 0 after retried submits", clients, entries)
+		}
+	}
+}

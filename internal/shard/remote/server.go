@@ -15,6 +15,7 @@ import (
 	"repro/internal/ctree"
 	"repro/internal/faults"
 	"repro/internal/ligra"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/stream"
 )
@@ -46,6 +47,13 @@ type Server[G ligra.Graph, E any] struct {
 	shards   int
 	hub      *tailHub
 	dedup    *Dedup
+
+	// verbHists records the synchronous dispatch latency of each RPC
+	// verb (indexed by rpc.Verb): parse-to-reply for reads, parse-to-
+	// enqueue for submits (the commit ack goes out asynchronously) and
+	// tail handshakes (the stream runs on its own goroutine). Exported
+	// by RegisterMetrics as aspen_rpc_dispatch_seconds{verb=...}.
+	verbHists [rpc.NumVerbs]obs.Hist
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -234,6 +242,15 @@ func (sc *serverConn[G, E]) replyErr(verb rpc.Verb, id uint64, flags uint8, msg 
 // connection (protocol violations); per-request failures are relayed
 // as error responses instead.
 func (sc *serverConn[G, E]) dispatch(m rpc.Msg) error {
+	start := time.Now()
+	err := sc.dispatchVerb(m)
+	if int(m.Verb) < len(sc.s.verbHists) {
+		sc.s.verbHists[m.Verb].Observe(time.Since(start))
+	}
+	return err
+}
+
+func (sc *serverConn[G, E]) dispatchVerb(m rpc.Msg) error {
 	switch m.Verb {
 	case rpc.VerbHello:
 		return sc.handleHello(m)

@@ -244,8 +244,13 @@ func (d *durable[G, E]) fail(err error) {
 // collapse to one record each (the PR-6 format). Any noted batch
 // switches the group to one record per batch so every note lands in
 // its own atomic record; application still uses the merged runs — the
-// concatenated edge stream on disk is identical either way.
-func (d *durable[G, E]) logCommit(batch []pending[E], runs []run[E]) error {
+// concatenated edge stream on disk is identical either way. The
+// returned durations split the work for the stage tracer: appendDur is
+// record encoding + buffered writes, syncDur the per-commit fsync
+// (zero unless Policy is SyncEveryCommit) — the split that makes the
+// PR 6 fsync overhead attributable per commit.
+func (d *durable[G, E]) logCommit(batch []pending[E], runs []run[E]) (appendDur, syncDur time.Duration, err error) {
+	start := time.Now()
 	noted := false
 	for _, b := range batch {
 		if b.note != (Note{}) {
@@ -256,7 +261,7 @@ func (d *durable[G, E]) logCommit(batch []pending[E], runs []run[E]) error {
 	if !noted {
 		for _, r := range runs {
 			if err := d.logOne(r.del, r.edges, Note{}); err != nil {
-				return err
+				return time.Since(start), 0, err
 			}
 		}
 	} else {
@@ -265,14 +270,17 @@ func (d *durable[G, E]) logCommit(batch []pending[E], runs []run[E]) error {
 				continue
 			}
 			if err := d.logOne(b.del, b.edges, b.note); err != nil {
-				return err
+				return time.Since(start), 0, err
 			}
 		}
 	}
+	appended := time.Now()
+	appendDur = appended.Sub(start)
 	if d.opts.Policy == SyncEveryCommit {
-		return d.log.Sync()
+		err = d.log.Sync()
+		syncDur = time.Since(appended)
 	}
-	return nil
+	return appendDur, syncDur, err
 }
 
 // logOne appends one WAL record for a merged run or a noted batch.

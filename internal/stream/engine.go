@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/aspen"
 	"repro/internal/ligra"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -68,6 +69,12 @@ type Options struct {
 	// relative order matters (insert then delete of the same edge) must
 	// ride the same lane. Flush covers both lanes.
 	PriorityEdges int
+	// TraceSlow arms the stage tracer's slow-commit ring: commits whose
+	// total staged time (enqueue through ack) reaches this threshold are
+	// captured with their per-stage breakdown, readable via
+	// Tracer().Slow and cmd/stream -trace-slow. 0 keeps the ring off;
+	// the per-stage histograms record regardless.
+	TraceSlow time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -136,6 +143,12 @@ type Engine[G ligra.Graph, E any] struct {
 	edges      atomic.Uint64 // directed edge updates applied
 	batches    atomic.Uint64 // batches committed
 	commits    atomic.Uint64 // versions published
+
+	// tracer aggregates per-stage commit latency (obs.StageTracer);
+	// trace is the ingest goroutine's reusable scratch record, a
+	// persistent field so recording a commit never allocates.
+	tracer obs.StageTracer
+	trace  obs.StageTrace
 }
 
 // New builds an engine over an initial snapshot g and the two functional
@@ -160,6 +173,9 @@ func newEngine[G ligra.Graph, E any](g G, insert, remove func(G, []E) G, opts Op
 	e.queue = make(chan pending[E], e.opts.QueueCap)
 	if e.opts.PriorityEdges > 0 {
 		e.prio = make(chan pending[E], e.opts.QueueCap)
+	}
+	if e.opts.TraceSlow > 0 {
+		e.tracer.SetSlowThreshold(e.opts.TraceSlow)
 	}
 	// The engine owns the registry's retire hook: it drops the version's
 	// cached flat view first, then forwards to the client hook.
@@ -495,6 +511,7 @@ func (e *Engine[G, E]) loop() {
 				}
 			}
 		}
+		pickup := time.Now() // StageEnqueue ends, StageCoalesce begins
 		batch = append(batch[:0], first)
 		edges := len(first.edges)
 		for len(batch) < e.opts.MaxCoalesce && edges < e.opts.MaxCoalesceEdges {
@@ -534,7 +551,7 @@ func (e *Engine[G, E]) loop() {
 			batch = append(batch, next)
 			edges += len(next.edges)
 		}
-		e.commit(batch, edges)
+		e.commit(batch, edges, pickup)
 	}
 }
 
@@ -553,11 +570,21 @@ type run[E any] struct {
 // is nacked — its done channel closes without a stamp — and nothing further
 // is applied, so an acknowledged batch is always both applied and logged
 // (and fsynced, under the per-commit policy).
-func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
+func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int, pickup time.Time) {
 	if e.dur != nil && e.dur.failed.Load() {
 		nack(batch)
 		return
 	}
+	// Stage trace: e.trace is the ingest goroutine's persistent scratch
+	// record (no per-commit allocation). Enqueue covers the oldest
+	// batch's submit-to-pickup wait; coalesce the group folding; the
+	// remaining stages are timed around the work below. Stages that do
+	// not run stay zero and are excluded from their histograms.
+	tr := &e.trace
+	*tr = obs.StageTrace{Edges: totalEdges, Batches: len(batch)}
+	tr.Durs[obs.StageEnqueue] = pickup.Sub(batch[0].enq)
+	t := time.Now()
+	tr.Durs[obs.StageCoalesce] = t.Sub(pickup)
 	stamp := e.reg.Current()
 	if totalEdges > 0 {
 		var runs []run[E]
@@ -579,13 +606,17 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 			runs = append(runs, run[E]{del: b.del, edges: b.edges})
 		}
 		if e.dur != nil {
-			if err := e.dur.logCommit(batch, runs); err != nil {
+			appendDur, syncDur, err := e.dur.logCommit(batch, runs)
+			tr.Durs[obs.StageWALAppend] = appendDur
+			tr.Durs[obs.StageFsync] = syncDur
+			if err != nil {
 				e.dur.fail(err)
 				nack(batch)
 				return
 			}
 		}
 		var before, committed G
+		t = time.Now()
 		stamp = e.reg.Update(func(g G) G {
 			before = g
 			for _, r := range runs {
@@ -598,6 +629,7 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 			committed = g
 			return g
 		})
+		tr.Durs[obs.StageApply] = time.Since(t)
 		e.commits.Add(1)
 		if e.dur != nil {
 			e.maybeCheckpoint(committed, stamp)
@@ -605,7 +637,9 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 		if e.opts.PrebuildFlat {
 			// Build-on-commit: the ingest goroutine still holds the freshly
 			// published version current, so the stamp cannot retire under us.
+			t = time.Now()
 			e.flat.viewOf(stamp, committed)
+			tr.Durs[obs.StageFlatPatch] = time.Since(t)
 		}
 		if e.onCommit != nil {
 			crs := make([]CommitRun[E], len(runs))
@@ -632,6 +666,11 @@ func (e *Engine[G, E]) commit(batch []pending[E], totalEdges int) {
 			b.done <- stamp
 			close(b.done)
 		}
+	}
+	if totalEdges > 0 {
+		tr.Durs[obs.StageAck] = time.Since(now)
+		tr.Stamp = stamp
+		e.tracer.Record(tr)
 	}
 }
 
